@@ -1,0 +1,39 @@
+//! Curve generation cost: the major/joiner-vector recursion is O(cells),
+//! so generation time should scale linearly in `side²` regardless of the
+//! radix mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cubesfc::sfc::{Schedule, SfcCurve};
+use cubesfc::GlobalCurve;
+use std::hint::black_box;
+
+fn bench_face_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("face_curve_generation");
+    for (name, sched) in [
+        ("hilbert_64", Schedule::hilbert(6).unwrap()),
+        ("mpeano_81", Schedule::mpeano(4).unwrap()),
+        ("hilbert_peano_72", Schedule::hilbert_peano(3, 2).unwrap()),
+        ("hilbert_peano_96", Schedule::hilbert_peano(5, 1).unwrap()),
+    ] {
+        group.throughput(Throughput::Elements(sched.cells() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, sched| {
+            b.iter(|| black_box(SfcCurve::generate(black_box(sched))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_curve_generation");
+    for ne in [8usize, 16, 18, 24, 48] {
+        let k = 6 * ne * ne;
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ne), &ne, |b, &ne| {
+            b.iter(|| black_box(GlobalCurve::build(black_box(ne)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_face_curves, bench_global_curves);
+criterion_main!(benches);

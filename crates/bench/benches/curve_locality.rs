@@ -1,0 +1,55 @@
+//! Curve locality ablation (experiment E-A2): how compact are the curve
+//! segments each family produces? Reported as the time to compute the
+//! segment statistics plus, via `--verbose` harness output, the segment
+//! boundary quality embedded in the benchmark ids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubesfc::sfc::analysis::{locality_stats, segment_stats};
+use cubesfc::sfc::{morton, Schedule, SfcCurve};
+use std::hint::black_box;
+
+fn curves() -> Vec<(String, SfcCurve)> {
+    let mut v = Vec::new();
+    v.push((
+        "hilbert_16".into(),
+        SfcCurve::generate(&Schedule::hilbert(4).unwrap()),
+    ));
+    v.push((
+        "mpeano_27".into(),
+        SfcCurve::generate(&Schedule::mpeano(3).unwrap()),
+    ));
+    v.push((
+        "hilbert_peano_18".into(),
+        SfcCurve::generate(&Schedule::hilbert_peano(1, 2).unwrap()),
+    ));
+    v.push((
+        "peano_hilbert_18".into(),
+        SfcCurve::generate(&Schedule::peano_hilbert(1, 2).unwrap()),
+    ));
+    v.push(("morton_16".into(), morton(16).unwrap()));
+    v
+}
+
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_locality_stats");
+    for (name, curve) in curves() {
+        // Print the quality numbers once so the bench output doubles as
+        // the ablation table.
+        let loc = locality_stats(&curve);
+        let seg = segment_stats(&curve, 16);
+        println!(
+            "{name}: mean_nbr_dist={:.2} unit_step={:.3} seg16 mean_boundary={:.2} bbox_inflation={:.3}",
+            loc.mean_neighbor_rank_distance,
+            loc.unit_step_fraction,
+            seg.mean_boundary,
+            seg.mean_bbox_inflation
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &curve, |b, curve| {
+            b.iter(|| black_box(segment_stats(black_box(curve), 16)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locality);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Measured cost of *producing* partitions (experiment E-M2).
+//!
+//! The paper notes SFC partitioning is essentially free next to METIS:
+//! slicing a precomputed curve is O(K), while multilevel partitioning
+//! does matching, contraction, and refinement work per level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubesfc::{partition_default, CubedSphere, PartitionMethod};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_k1536_p64");
+    group.sample_size(20);
+    let mesh = CubedSphere::new(16); // K = 1536
+    for method in PartitionMethod::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    let p = partition_default(black_box(&mesh), m, 64).unwrap();
+                    black_box(p)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sfc_scaling(c: &mut Criterion) {
+    // SFC partition cost across resolutions (curve slicing only; the
+    // mesh/curve are prebuilt, as SEAM would do once at startup).
+    let mut group = c.benchmark_group("sfc_partition_scaling");
+    group.sample_size(30);
+    for ne in [8usize, 16, 24, 48] {
+        let mesh = CubedSphere::new(ne);
+        let k = mesh.num_elems();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &mesh, |b, mesh| {
+            b.iter(|| {
+                let p = partition_default(black_box(mesh), PartitionMethod::Sfc, 96).unwrap();
+                black_box(p)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_build(c: &mut Criterion) {
+    // Startup cost: topology + curve construction per resolution.
+    let mut group = c.benchmark_group("mesh_build");
+    group.sample_size(15);
+    for ne in [8usize, 16, 18] {
+        group.bench_with_input(BenchmarkId::from_parameter(ne), &ne, |b, &ne| {
+            b.iter(|| black_box(CubedSphere::new(black_box(ne))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_sfc_scaling, bench_mesh_build);
+criterion_main!(benches);

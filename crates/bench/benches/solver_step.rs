@@ -1,0 +1,104 @@
+//! Measured mini-SEAM wall-clock per step under different partitions
+//! (experiment E-M1) — the observable the paper's figures are made of,
+//! at thread scale instead of 768 MPI ranks.
+//!
+//! Virtual ranks run on threads and communicate by channels; partitions
+//! with better balance and smaller boundaries finish their DSS rounds
+//! faster, so measured step time orders the methods the same way the
+//! analytic model does.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cubesfc::seam::solver::AdvectionConfig;
+use cubesfc::seam::{gaussian_blob, run_parallel, run_sw_parallel, tc2_initial, SwConfig};
+use cubesfc::{partition_default, CubedSphere, PartitionMethod};
+use std::hint::black_box;
+
+fn bench_partition_methods(c: &mut Criterion) {
+    let ne = 8; // K = 384
+    let nranks = 6;
+    let mesh = CubedSphere::new(ne);
+    let topo = mesh.topology();
+    let cfg = AdvectionConfig::stable_for(ne, 6, 4);
+
+    let mut group = c.benchmark_group("solver_step_384elem_6ranks");
+    group.sample_size(10);
+    for method in [
+        PartitionMethod::Sfc,
+        PartitionMethod::MetisKway,
+        PartitionMethod::MetisRb,
+        PartitionMethod::Morton,
+    ] {
+        let part = partition_default(&mesh, method, nranks).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &part,
+            |b, part| {
+                b.iter(|| {
+                    let (field, stats) = run_parallel(
+                        topo,
+                        part,
+                        cfg,
+                        2,
+                        gaussian_blob([1.0, 0.0, 0.0], 0.5),
+                    );
+                    black_box((field, stats))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let ne = 4; // K = 96
+    let mesh = CubedSphere::new(ne);
+    let topo = mesh.topology();
+    let cfg = AdvectionConfig::stable_for(ne, 6, 4);
+
+    let mut group = c.benchmark_group("solver_rank_scaling_96elem");
+    group.sample_size(10);
+    for nranks in [1usize, 2, 4, 8] {
+        let part = partition_default(&mesh, PartitionMethod::Sfc, nranks).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(nranks), &part, |b, part| {
+            b.iter(|| {
+                let out = run_parallel(topo, part, cfg, 2, gaussian_blob([0.0, 1.0, 0.0], 0.5));
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shallow_water(c: &mut Criterion) {
+    // The full 4-variable dynamics over virtual ranks: the measured
+    // counterpart of the analytic model's nvar = 4 calibration.
+    let ne = 4;
+    let mesh = CubedSphere::new(ne);
+    let topo = mesh.topology();
+    let cfg = SwConfig::test_case_2(ne, 6);
+
+    let mut group = c.benchmark_group("shallow_water_step_96elem");
+    group.sample_size(10);
+    for method in [PartitionMethod::Sfc, PartitionMethod::MetisKway] {
+        let part = partition_default(&mesh, method, 4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.label()),
+            &part,
+            |b, part| {
+                b.iter(|| {
+                    let (v0, h0) = tc2_initial(1.0, 2.5, cfg.omega, cfg.gravity);
+                    black_box(run_sw_parallel(topo, part, cfg, 2, v0, h0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_methods,
+    bench_serial_vs_parallel,
+    bench_shallow_water
+);
+criterion_main!(benches);

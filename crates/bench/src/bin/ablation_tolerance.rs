@@ -1,0 +1,53 @@
+//! **Ablation E-A3** — how much of the SFC advantage is the balance
+//! *tolerance*? METIS's 3 % default is a choice; tightening it makes the
+//! graph partitioners more balanced (more SFC-like) at the cost of
+//! edgecut, loosening it does the opposite. This sweep shows the SFC
+//! advantage is not an artifact of one tolerance setting: at O(1)
+//! elements/processor the integer floor (`target + 1 element`) dominates
+//! every percentage.
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin ablation_tolerance
+//! ```
+
+use cubesfc::report::PartitionReport;
+use cubesfc::{
+    partition, CubedSphere, PartitionMethod, PartitionOptions,
+};
+use cubesfc_bench::paper_models;
+
+fn main() {
+    let mesh = CubedSphere::new(16); // K = 1536
+    let (machine, cost) = paper_models();
+    let nproc = 768;
+
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
+        .unwrap();
+    println!(
+        "K = 1536, {nproc} processors; SFC reference: LB = {:.3}, cut = {}, {:.0} us/step\n",
+        sfc.lb_nelemd, sfc.edgecut, sfc.time_us
+    );
+    println!(
+        "{:>10} | {:>10} {:>9} {:>12} | {:>12}",
+        "ub_factor", "KWAY LB", "KWAY cut", "KWAY us", "SFC vs KWAY"
+    );
+    for ub in [1.001, 1.01, 1.03, 1.10, 1.50, 2.00] {
+        let mut opts = PartitionOptions::default();
+        opts.graph_config.ub_factor = ub;
+        let p = partition(&mesh, PartitionMethod::MetisKway, nproc, &opts).unwrap();
+        let r = PartitionReport::from_partition(&mesh, PartitionMethod::MetisKway, &p, &machine, &cost);
+        println!(
+            "{:>10.3} | {:>10.3} {:>9} {:>12.0} | {:>+11.1}%",
+            ub,
+            r.lb_nelemd,
+            r.edgecut,
+            r.time_us,
+            (r.time_us / sfc.time_us - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nreading: below ~1.5 the cap is pinned at target+1 element (the\n\
+         integer floor), so the SFC advantage is insensitive to the exact\n\
+         METIS tolerance; loosening past the floor only makes KWAY worse."
+    );
+}

@@ -1,0 +1,73 @@
+//! **E-M1 companion** — measured strong scaling of the mini-SEAM on real
+//! threads (the figure-7 experiment at laptop scale, wall-clock instead
+//! of model).
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin measured_scaling
+//! ```
+
+use cubesfc::seam::solver::{AdvectionConfig, SerialSolver};
+use cubesfc::seam::{gaussian_blob, run_parallel};
+use cubesfc::{partition_default, CubedSphere, PartitionMethod};
+
+fn main() {
+    let ne = 8; // K = 384
+    let np = 6;
+    let nlev = 16; // enough compute per element to beat thread overhead
+    let steps = 4;
+    let mesh = CubedSphere::new(ne);
+    let topo = mesh.topology();
+    let cfg = AdvectionConfig::stable_for(ne, np, nlev);
+    let ic = gaussian_blob([1.0, 0.0, 0.0], 0.5);
+
+    // Serial baseline.
+    let t0 = std::time::Instant::now();
+    let mut serial = SerialSolver::new(topo, cfg);
+    serial.set_initial(&ic);
+    serial.run(steps);
+    let t_serial = t0.elapsed().as_secs_f64();
+    println!(
+        "measured strong scaling: K={}, np={np}, nlev={nlev}, {steps} steps",
+        mesh.num_elems()
+    );
+    println!("serial reference: {:.3}s\n", t_serial);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14}",
+        "ranks", "SFC (s)", "speedup", "KWAY (s)", "SFC vs KWAY"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for nranks in [1usize, 2, 4, 8] {
+        if nranks > 2 * cores {
+            break;
+        }
+        let run = |method: PartitionMethod| -> f64 {
+            let part = partition_default(&mesh, method, nranks).unwrap();
+            // Best of three to tame scheduler noise.
+            (0..3)
+                .map(|_| {
+                    let (_, stats) = run_parallel(topo, &part, cfg, steps, &ic);
+                    stats.wall_seconds
+                })
+                .fold(f64::MAX, f64::min)
+        };
+        let t_sfc = run(PartitionMethod::Sfc);
+        let t_kway = run(PartitionMethod::MetisKway);
+        println!(
+            "{:>6} {:>10.3} {:>10.2} {:>10.3} {:>+13.1}%",
+            nranks,
+            t_sfc,
+            t_serial / t_sfc,
+            t_kway,
+            (t_kway / t_sfc - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nnote: at {cores} host cores the thread scale is far from the paper's\n\
+         768 processors; this binary demonstrates the *measured* pipeline —\n\
+         the regime where SFC wins (O(1) elements/rank) needs the analytic\n\
+         model (fig7/fig10)."
+    );
+}

@@ -1,0 +1,55 @@
+//! **Extension E-X3** — node-aware rank placement on the 8-way SMP nodes.
+//!
+//! The paper's machine model has two message classes (shared memory vs
+//! Colony switch). This experiment quantifies a hidden SFC benefit: with
+//! ranks packed onto nodes *in curve order*, most neighbour traffic stays
+//! inside a node for free, while graph partitions need an explicit
+//! traffic-aware packing pass to get the same effect.
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin node_mapping
+//! ```
+
+use cubesfc::seam::{greedy_node_packing, internode_traffic_fraction, RankMap};
+use cubesfc::{partition_default, to_csr, CubedSphere, PartitionMethod};
+use cubesfc_bench::paper_models;
+
+fn main() {
+    let (machine, _) = paper_models();
+    println!("fraction of exchanged points crossing node boundaries (lower = better)");
+    println!(
+        "{:>8} {:>6} | {:>10} {:>10} {:>10}",
+        "method", "Nproc", "in order", "random", "greedy"
+    );
+
+    let mesh = CubedSphere::new(16); // K = 1536
+    let g = to_csr(&mesh.dual_graph(Default::default()));
+    for nproc in [96usize, 192, 384, 768] {
+        for method in [
+            PartitionMethod::Sfc,
+            PartitionMethod::MetisKway,
+            PartitionMethod::Rcb,
+        ] {
+            let p = partition_default(&mesh, method, nproc).unwrap();
+            let id = internode_traffic_fraction(&g, &p, &machine, &RankMap::identity(nproc));
+            let rand =
+                internode_traffic_fraction(&g, &p, &machine, &RankMap::random(nproc, 42));
+            let packed = greedy_node_packing(&g, &p, &machine);
+            let gr = internode_traffic_fraction(&g, &p, &machine, &packed);
+            println!(
+                "{:>8} {:>6} | {:>9.1}% {:>9.1}% {:>9.1}%",
+                method.label(),
+                nproc,
+                id * 100.0,
+                rand * 100.0,
+                gr * 100.0
+            );
+        }
+    }
+    println!();
+    println!(
+        "reading: the SFC's natural rank order already keeps traffic on-node\n\
+         (close to the greedy packing); arbitrary rank numberings leave ~2x\n\
+         more traffic on the switch."
+    );
+}

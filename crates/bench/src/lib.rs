@@ -1,0 +1,220 @@
+//! Shared harness code for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md`'s per-experiment index); this library holds the
+//! sweep and formatting machinery they share.
+
+use cubesfc::report::PartitionReport;
+use cubesfc::{CostModel, CubedSphere, MachineModel, PartitionMethod};
+use rayon::prelude::*;
+
+/// One figure point: every method evaluated at one processor count.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Processor count.
+    pub nproc: usize,
+    /// Elements per processor (exact for divisor counts).
+    pub elems_per_proc: f64,
+    /// Reports in [`PartitionMethod::ALL`] order minus Morton:
+    /// SFC, KWAY, TV, RB.
+    pub reports: Vec<PartitionReport>,
+}
+
+impl SweepRow {
+    /// The SFC report.
+    pub fn sfc(&self) -> &PartitionReport {
+        &self.reports[0]
+    }
+
+    /// The best (lowest modelled time) METIS-family report.
+    pub fn best_metis(&self) -> &PartitionReport {
+        self.reports[1..]
+            .iter()
+            .min_by(|a, b| a.time_us.total_cmp(&b.time_us))
+            .expect("three METIS reports")
+    }
+
+    /// SFC advantage over the best METIS partition, in percent of
+    /// execution rate (positive = SFC faster).
+    pub fn sfc_advantage_pct(&self) -> f64 {
+        (self.best_metis().time_us / self.sfc().time_us - 1.0) * 100.0
+    }
+}
+
+/// The methods a figure sweep evaluates, in order.
+pub const SWEEP_METHODS: [PartitionMethod; 4] = [
+    PartitionMethod::Sfc,
+    PartitionMethod::MetisKway,
+    PartitionMethod::MetisTv,
+    PartitionMethod::MetisRb,
+];
+
+/// Evaluate all methods at every processor count.
+///
+/// The (nproc × method) grid is embarrassingly parallel — each cell runs
+/// an independent multilevel partition — so it fans out over Rayon.
+pub fn sweep(
+    mesh: &CubedSphere,
+    procs: &[usize],
+    machine: &MachineModel,
+    cost: &CostModel,
+) -> Vec<SweepRow> {
+    procs
+        .par_iter()
+        .map(|&nproc| {
+            let reports = SWEEP_METHODS
+                .par_iter()
+                .map(|&m| {
+                    PartitionReport::compute(mesh, m, nproc, machine, cost)
+                        .expect("sweep sizes are valid")
+                })
+                .collect();
+            SweepRow {
+                nproc,
+                elems_per_proc: mesh.num_elems() as f64 / nproc as f64,
+                reports,
+            }
+        })
+        .collect()
+}
+
+/// Print a speedup figure (paper Figures 7–8): one line per processor
+/// count, one column per method plus the ideal.
+pub fn print_speedup_figure(title: &str, rows: &[SweepRow]) {
+    println!("{title}");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "Nproc", "elem/p", "ideal", "SFC", "KWAY", "TV", "RB", "SFC vs best"
+    );
+    for row in rows {
+        print!(
+            "{:>6} {:>8.1} {:>10.1}",
+            row.nproc, row.elems_per_proc, row.nproc as f64
+        );
+        for r in &row.reports {
+            print!(" {:>10.1}", r.perf.speedup);
+        }
+        println!(" {:>+11.1}%", row.sfc_advantage_pct());
+    }
+    println!();
+}
+
+/// Print a sustained-Gflops figure (paper Figures 9–10).
+pub fn print_gflops_figure(title: &str, rows: &[SweepRow]) {
+    println!("{title}");
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "Nproc", "elem/p", "SFC", "KWAY", "TV", "RB", "SFC vs best"
+    );
+    for row in rows {
+        print!("{:>6} {:>8.1}", row.nproc, row.elems_per_proc);
+        for r in &row.reports {
+            print!(" {:>10.2}", r.perf.sustained_gflops);
+        }
+        println!(" {:>+11.1}%", row.sfc_advantage_pct());
+    }
+    println!();
+}
+
+/// Render a sweep as CSV (for plotting): one row per processor count
+/// with speedup and sustained Gflops per method.
+pub fn sweep_to_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "nproc,elems_per_proc,speedup_sfc,speedup_kway,speedup_tv,speedup_rb,gflops_sfc,gflops_kway,gflops_tv,gflops_rb,sfc_advantage_pct
+",
+    );
+    for row in rows {
+        out.push_str(&format!("{},{}", row.nproc, row.elems_per_proc));
+        for r in &row.reports {
+            out.push_str(&format!(",{:.4}", r.perf.speedup));
+        }
+        for r in &row.reports {
+            out.push_str(&format!(",{:.4}", r.perf.sustained_gflops));
+        }
+        out.push_str(&format!(",{:.2}
+", row.sfc_advantage_pct()));
+    }
+    out
+}
+
+/// If `CUBESFC_CSV` is set, write the sweep to that path as CSV and note
+/// it on stdout. Lets every figure binary double as a plot-data exporter.
+pub fn maybe_write_csv(rows: &[SweepRow]) {
+    if let Ok(path) = std::env::var("CUBESFC_CSV") {
+        match std::fs::write(&path, sweep_to_csv(rows)) {
+            Ok(()) => println!("(CSV written to {path})"),
+            Err(e) => eprintln!("(failed to write CSV to {path}: {e})"),
+        }
+    }
+}
+
+/// Divisors of `k` up to `cap`, optionally thinned to at most `max_points`
+/// (keeping the largest counts, where the paper's effect lives).
+pub fn divisor_procs(k: usize, cap: usize, max_points: usize) -> Vec<usize> {
+    let mut d: Vec<usize> = (1..=cap.min(k)).filter(|p| k % p == 0).collect();
+    if d.len() > max_points {
+        let skip = d.len() - max_points;
+        d.drain(1..1 + skip);
+    }
+    d
+}
+
+/// The standard machine and cost models of all experiments.
+pub fn paper_models() -> (MachineModel, CostModel) {
+    (MachineModel::ncar_p690(), CostModel::seam_climate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisors_of_384() {
+        let d = divisor_procs(384, 384, 100);
+        assert_eq!(d.first(), Some(&1));
+        assert_eq!(d.last(), Some(&384));
+        assert!(d.contains(&96));
+        assert!(d.iter().all(|p| 384 % p == 0));
+    }
+
+    #[test]
+    fn divisors_capped_at_machine_size() {
+        let d = divisor_procs(1536, 768, 100);
+        assert_eq!(d.last(), Some(&768));
+        assert!(!d.contains(&1536));
+    }
+
+    #[test]
+    fn thinning_keeps_large_counts() {
+        let d = divisor_procs(384, 384, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], 1);
+        assert_eq!(*d.last().unwrap(), 384);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[2, 4], &machine, &cost);
+        let csv = sweep_to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("nproc,"));
+        assert_eq!(lines[1].split(',').count(), 11);
+    }
+
+    #[test]
+    fn sweep_row_accessors() {
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[4, 8], &machine, &cost);
+        assert_eq!(rows.len(), 2);
+        let row = &rows[0];
+        assert_eq!(row.sfc().method, PartitionMethod::Sfc);
+        assert!(row.best_metis().time_us >= row.reports[1..].iter()
+            .map(|r| r.time_us).fold(f64::INFINITY, f64::min) - 1e-12);
+        // Advantage is finite.
+        assert!(row.sfc_advantage_pct().is_finite());
+    }
+}

@@ -1,0 +1,192 @@
+//! `cubesfc` — command-line partitioner for cubed-sphere meshes.
+//!
+//! ```text
+//! cubesfc partition --ne 8 --nproc 96 [--method sfc|kway|tv|rb|morton|rcb]
+//!                   [--output assign.txt] [--seed N]
+//! cubesfc report    --ne 8 --nproc 96            # Table-2 style comparison
+//! cubesfc render    --ne 8 --nproc 24 --output net.ppm [--ascii]
+//! cubesfc info      --ne 8                       # mesh + curve facts
+//! ```
+//!
+//! The assignment output format is one line per element: `elem part`.
+
+use cubesfc::report::PartitionReport;
+use cubesfc::viz::{render_partition_ascii, render_partition_ppm};
+use cubesfc::{
+    partition, CostModel, CubedSphere, MachineModel, PartitionMethod, PartitionOptions,
+};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    ne: usize,
+    nproc: usize,
+    method: PartitionMethod,
+    output: Option<String>,
+    seed: u64,
+    ascii: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cubesfc <partition|report|render|info> --ne N [--nproc P]\n\
+         \t[--method sfc|kway|tv|rb|morton|rcb] [--output FILE] [--seed N] [--ascii]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let command = it.next().ok_or("missing command")?;
+    let mut args = Args {
+        command,
+        ne: 0,
+        nproc: 0,
+        method: PartitionMethod::Sfc,
+        output: None,
+        seed: 0x5EED,
+        ascii: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--ne" => {
+                args.ne = it
+                    .next()
+                    .ok_or("--ne needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--ne: {e}"))?
+            }
+            "--nproc" => {
+                args.nproc = it
+                    .next()
+                    .ok_or("--nproc needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--nproc: {e}"))?
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--method" => {
+                let m = it.next().ok_or("--method needs a value")?;
+                args.method = match m.to_lowercase().as_str() {
+                    "sfc" => PartitionMethod::Sfc,
+                    "kway" => PartitionMethod::MetisKway,
+                    "tv" => PartitionMethod::MetisTv,
+                    "rb" => PartitionMethod::MetisRb,
+                    "morton" => PartitionMethod::Morton,
+                    "rcb" => PartitionMethod::Rcb,
+                    other => return Err(format!("unknown method '{other}'")),
+                };
+            }
+            "--output" => args.output = Some(it.next().ok_or("--output needs a value")?),
+            "--ascii" => args.ascii = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.ne == 0 {
+        return Err("--ne is required".into());
+    }
+    Ok(args)
+}
+
+fn emit(path: &Option<String>, bytes: &[u8]) -> Result<(), String> {
+    match path {
+        None => std::io::stdout()
+            .write_all(bytes)
+            .map_err(|e| e.to_string()),
+        Some(p) => std::fs::write(p, bytes).map_err(|e| format!("{p}: {e}")),
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mesh = CubedSphere::new(args.ne);
+    let mut opts = PartitionOptions::default();
+    opts.graph_config.seed = args.seed;
+
+    match args.command.as_str() {
+        "info" => {
+            println!("Ne          : {}", mesh.ne());
+            println!("K           : {}", mesh.num_elems());
+            match mesh.curve() {
+                Some(c) => {
+                    let sched = cubesfc::Schedule::for_side(args.ne.max(2))
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|_| "trivial".into());
+                    println!("SFC         : yes ({sched})");
+                    println!(
+                        "continuous  : {}",
+                        c.is_continuous(mesh.topology())
+                    );
+                }
+                None => println!("SFC         : no (Ne has a prime factor > 5)"),
+            }
+            let divisors: Vec<String> = (1..=mesh.num_elems())
+                .filter(|p| mesh.num_elems() % p == 0)
+                .map(|p| p.to_string())
+                .collect();
+            println!("equal-share : {}", divisors.join(" "));
+            Ok(())
+        }
+        "partition" => {
+            if args.nproc == 0 {
+                return Err("--nproc is required".into());
+            }
+            let p = partition(&mesh, args.method, args.nproc, &opts)
+                .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for (e, part) in p.assignment().iter().enumerate() {
+                out.push_str(&format!("{e} {part}\n"));
+            }
+            emit(&args.output, out.as_bytes())
+        }
+        "report" => {
+            if args.nproc == 0 {
+                return Err("--nproc is required".into());
+            }
+            let machine = MachineModel::ncar_p690();
+            let cost = CostModel::seam_climate();
+            println!("{}", PartitionReport::table_header());
+            for m in PartitionMethod::ALL {
+                match PartitionReport::compute(&mesh, m, args.nproc, &machine, &cost) {
+                    Ok(r) => println!("{}", r.table_row()),
+                    Err(e) => println!("{:<8} unavailable: {e}", m.label()),
+                }
+            }
+            Ok(())
+        }
+        "render" => {
+            if args.nproc == 0 {
+                return Err("--nproc is required".into());
+            }
+            let p = partition(&mesh, args.method, args.nproc, &opts)
+                .map_err(|e| e.to_string())?;
+            if args.ascii {
+                emit(&args.output, render_partition_ascii(&mesh, &p).as_bytes())
+            } else {
+                emit(&args.output, &render_partition_ppm(&mesh, &p, 16))
+            }
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

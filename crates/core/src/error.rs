@@ -1,0 +1,80 @@
+//! Errors of the top-level partitioning API.
+
+use cubesfc_sfc::SfcError;
+use std::fmt;
+
+/// Errors from [`crate::partition`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PartitionError {
+    /// The SFC family cannot handle this face size — "the SFC algorithm
+    /// places restrictions on the problem size" (paper §5).
+    Curve(SfcError),
+    /// More processors than elements were requested.
+    TooManyParts {
+        /// Requested processor count.
+        nproc: usize,
+        /// Available elements.
+        nelems: usize,
+    },
+    /// Zero processors requested.
+    ZeroParts,
+    /// A weighted split was requested with a weight vector of the wrong
+    /// length or zero total weight.
+    BadWeights {
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Curve(e) => write!(f, "space-filling curve: {e}"),
+            PartitionError::TooManyParts { nproc, nelems } => {
+                write!(f, "{nproc} processors requested for {nelems} elements")
+            }
+            PartitionError::ZeroParts => write!(f, "processor count must be positive"),
+            PartitionError::BadWeights { reason } => write!(f, "bad weights: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Curve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SfcError> for PartitionError {
+    fn from(e: SfcError) -> Self {
+        PartitionError::Curve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PartitionError::TooManyParts {
+            nproc: 999,
+            nelems: 384,
+        };
+        assert!(e.to_string().contains("999"));
+        assert!(e.to_string().contains("384"));
+        let e: PartitionError = SfcError::UnsupportedSize { side: 10 }.into();
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: PartitionError = SfcError::EmptySchedule.into();
+        assert!(e.source().is_some());
+        assert!(PartitionError::ZeroParts.source().is_none());
+    }
+}

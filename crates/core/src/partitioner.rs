@@ -1,0 +1,318 @@
+//! The top-level partitioning API: one entry point, six algorithms.
+
+use crate::error::PartitionError;
+use crate::sfc_partition::{partition_curve, partition_curve_weighted};
+use cubesfc_graph::{
+    kway, kway_volume, recursive_bisection, CsrGraph, Partition, PartitionConfig,
+};
+use cubesfc_mesh::{CubedSphere, DualGraph, ExchangeWeights, GlobalCurve};
+use cubesfc_sfc::Schedule;
+use std::fmt;
+
+/// The partitioning algorithms compared in the paper, plus the Morton
+/// ablation baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PartitionMethod {
+    /// Space-filling curve (Hilbert / m-Peano / Hilbert-Peano as the face
+    /// size dictates) — the paper's contribution.
+    Sfc,
+    /// METIS-style direct K-way, minimizing edgecut.
+    MetisKway,
+    /// METIS-style K-way variant minimizing total communication volume.
+    MetisTv,
+    /// METIS-style recursive bisection.
+    MetisRb,
+    /// Morton (Z-order) curve segments — ablation baseline, not in the
+    /// paper.
+    Morton,
+    /// Recursive coordinate bisection on element centroids — geometric
+    /// baseline, not in the paper.
+    Rcb,
+}
+
+impl PartitionMethod {
+    /// The METIS-family methods (the paper's baselines).
+    pub const METIS: [PartitionMethod; 3] = [
+        PartitionMethod::MetisKway,
+        PartitionMethod::MetisTv,
+        PartitionMethod::MetisRb,
+    ];
+
+    /// All methods.
+    pub const ALL: [PartitionMethod; 6] = [
+        PartitionMethod::Sfc,
+        PartitionMethod::MetisKway,
+        PartitionMethod::MetisTv,
+        PartitionMethod::MetisRb,
+        PartitionMethod::Morton,
+        PartitionMethod::Rcb,
+    ];
+
+    /// The short label used in tables (matches the paper's Table 2).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionMethod::Sfc => "SFC",
+            PartitionMethod::MetisKway => "KWAY",
+            PartitionMethod::MetisTv => "TV",
+            PartitionMethod::MetisRb => "RB",
+            PartitionMethod::Morton => "MORTON",
+            PartitionMethod::Rcb => "RCB-GEO",
+        }
+    }
+}
+
+impl fmt::Display for PartitionMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Options for [`partition`].
+#[derive(Clone, Debug)]
+pub struct PartitionOptions {
+    /// Exchange weights used when building the dual graph for the
+    /// METIS-family methods (and for all quality metrics).
+    pub exchange: ExchangeWeights,
+    /// Balance tolerance and seed for the multilevel partitioners.
+    pub graph_config: GraphConfigSeed,
+    /// Optional per-element work weights (element-id indexed). When set,
+    /// the SFC method uses weighted prefix splitting and the graph
+    /// methods use weighted vertices.
+    pub weights: Option<Vec<f64>>,
+}
+
+/// Seed/tolerance knobs forwarded to `cubesfc_graph::PartitionConfig`.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphConfigSeed {
+    /// RNG seed.
+    pub seed: u64,
+    /// Balance tolerance (METIS default 1.03).
+    pub ub_factor: f64,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            exchange: ExchangeWeights::default(),
+            graph_config: GraphConfigSeed {
+                seed: 0x5EED,
+                ub_factor: 1.03,
+            },
+            weights: None,
+        }
+    }
+}
+
+/// Convert the mesh dual graph into the partitioner's CSR form.
+pub fn to_csr(dg: &DualGraph) -> CsrGraph {
+    CsrGraph::new(
+        dg.xadj.clone(),
+        dg.adjncy.clone(),
+        dg.adjwgt.clone(),
+        dg.vwgt.clone(),
+    )
+    .expect("mesh dual graphs are valid by construction")
+}
+
+/// Partition a cubed-sphere into `nproc` parts with the chosen method.
+///
+/// # Errors
+///
+/// * [`PartitionError::Curve`] if `method` is SFC-based and `Ne` is not
+///   `2^n·3^m` (the paper's problem-size restriction);
+/// * [`PartitionError::TooManyParts`] / [`PartitionError::ZeroParts`] for
+///   nonsensical processor counts.
+pub fn partition(
+    mesh: &CubedSphere,
+    method: PartitionMethod,
+    nproc: usize,
+    opts: &PartitionOptions,
+) -> Result<Partition, PartitionError> {
+    let k = mesh.num_elems();
+    if nproc == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    if nproc > k {
+        return Err(PartitionError::TooManyParts { nproc, nelems: k });
+    }
+
+    match method {
+        PartitionMethod::Sfc => {
+            let curve = mesh.curve_required()?;
+            match &opts.weights {
+                None => partition_curve(curve, nproc),
+                Some(w) => partition_curve_weighted(curve, nproc, w),
+            }
+        }
+        PartitionMethod::Morton => {
+            let curve = morton_curve(mesh)?;
+            match &opts.weights {
+                None => partition_curve(&curve, nproc),
+                Some(w) => partition_curve_weighted(&curve, nproc, w),
+            }
+        }
+        PartitionMethod::Rcb => crate::rcb::partition_rcb(mesh, nproc),
+        PartitionMethod::MetisKway | PartitionMethod::MetisTv | PartitionMethod::MetisRb => {
+            let mut dg = mesh.dual_graph(opts.exchange);
+            if let Some(w) = &opts.weights {
+                if w.len() != k {
+                    return Err(PartitionError::BadWeights {
+                        reason: "weight vector length must equal element count",
+                    });
+                }
+                // Scale to integer weights for the graph partitioner.
+                dg.vwgt = w.iter().map(|&x| (x.max(0.0) * 16.0).round() as u32 + 1).collect();
+            }
+            let g = to_csr(&dg);
+            let cfg = PartitionConfig::new(nproc)
+                .with_seed(opts.graph_config.seed)
+                .with_ub_factor(opts.graph_config.ub_factor);
+            Ok(match method {
+                PartitionMethod::MetisKway => kway(&g, &cfg),
+                PartitionMethod::MetisTv => kway_volume(&g, &cfg),
+                PartitionMethod::MetisRb => recursive_bisection(&g, &cfg),
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// A Morton-order "curve" over the six faces: each face in the standard
+/// threading order, cells in Z-order (no cross-face continuity — that is
+/// the point of the ablation).
+fn morton_curve(mesh: &CubedSphere) -> Result<GlobalCurve, PartitionError> {
+    // Reuse the face threading with a Morton face order by building a
+    // GlobalCurve-compatible order manually.
+    let ne = mesh.ne();
+    let z = cubesfc_sfc::morton(ne.max(2)).map_err(PartitionError::from)?;
+    let mut order = Vec::with_capacity(mesh.num_elems());
+    for &face in &cubesfc_mesh::FACE_ORDER {
+        if ne == 1 {
+            order.push(mesh.eid(face, 0, 0));
+        } else {
+            for (i, j) in z.iter() {
+                order.push(mesh.eid(face, i, j));
+            }
+        }
+    }
+    Ok(GlobalCurve::from_order_unchecked(ne, order))
+}
+
+/// Partition with the default options.
+pub fn partition_default(
+    mesh: &CubedSphere,
+    method: PartitionMethod,
+    nproc: usize,
+) -> Result<Partition, PartitionError> {
+    partition(mesh, method, nproc, &PartitionOptions::default())
+}
+
+/// Partition via SFC with an explicit refinement schedule (for the
+/// refinement-order ablation, paper §5's open question).
+pub fn partition_sfc_with_schedule(
+    ne_schedule: &Schedule,
+    nproc: usize,
+) -> Result<(CubedSphere, Partition), PartitionError> {
+    let mesh = CubedSphere::with_schedule(ne_schedule);
+    let part = {
+        let curve = mesh.curve_required()?;
+        partition_curve(curve, nproc)?
+    };
+    Ok((mesh, part))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesfc_graph::load_balance;
+
+    #[test]
+    fn all_methods_partition_k384() {
+        let mesh = CubedSphere::new(8);
+        for m in PartitionMethod::ALL {
+            let p = partition_default(&mesh, m, 16).unwrap();
+            assert_eq!(p.len(), 384);
+            assert_eq!(p.nparts(), 16);
+            let total: usize = p.part_sizes().iter().sum();
+            assert_eq!(total, 384, "{m}");
+        }
+    }
+
+    #[test]
+    fn sfc_partition_is_exactly_balanced_on_divisors() {
+        let mesh = CubedSphere::new(9); // K = 486, the m-Peano case
+        for nproc in [2usize, 3, 6, 9, 27, 54, 162, 486] {
+            let p = partition_default(&mesh, PartitionMethod::Sfc, nproc).unwrap();
+            let sizes: Vec<u64> = p.part_sizes().iter().map(|&x| x as u64).collect();
+            assert_eq!(load_balance(&sizes), 0.0, "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    fn sfc_rejects_unsupported_ne() {
+        let mesh = CubedSphere::new(7);
+        let e = partition_default(&mesh, PartitionMethod::Sfc, 6).unwrap_err();
+        assert!(matches!(e, PartitionError::Curve(_)));
+        // But METIS-family methods still work — "both are retained in
+        // SEAM" precisely because METIS has no size restriction.
+        let p = partition_default(&mesh, PartitionMethod::MetisKway, 6).unwrap();
+        assert_eq!(p.nparts(), 6);
+    }
+
+    #[test]
+    fn processor_count_validation() {
+        let mesh = CubedSphere::new(2);
+        assert!(matches!(
+            partition_default(&mesh, PartitionMethod::Sfc, 0),
+            Err(PartitionError::ZeroParts)
+        ));
+        assert!(matches!(
+            partition_default(&mesh, PartitionMethod::MetisRb, 25),
+            Err(PartitionError::TooManyParts { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_options_flow_through() {
+        let mesh = CubedSphere::new(4);
+        let mut opts = PartitionOptions::default();
+        opts.weights = Some(vec![1.0; 96]);
+        for m in [PartitionMethod::Sfc, PartitionMethod::MetisKway] {
+            let p = partition(&mesh, m, 8, &opts).unwrap();
+            assert_eq!(p.nparts(), 8);
+        }
+        opts.weights = Some(vec![1.0; 7]);
+        assert!(partition(&mesh, PartitionMethod::MetisKway, 8, &opts).is_err());
+        assert!(partition(&mesh, PartitionMethod::Sfc, 8, &opts).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_table() {
+        assert_eq!(PartitionMethod::Sfc.label(), "SFC");
+        assert_eq!(PartitionMethod::MetisKway.label(), "KWAY");
+        assert_eq!(PartitionMethod::MetisTv.label(), "TV");
+        assert_eq!(PartitionMethod::MetisRb.label(), "RB");
+    }
+
+    #[test]
+    fn morton_partitions_are_valid_but_less_compact() {
+        let mesh = CubedSphere::new(8);
+        let g = to_csr(&mesh.dual_graph(Default::default()));
+        let sfc = partition_default(&mesh, PartitionMethod::Sfc, 48).unwrap();
+        let mor = partition_default(&mesh, PartitionMethod::Morton, 48).unwrap();
+        let cut_sfc = cubesfc_graph::metrics::edgecut(&g, &sfc);
+        let cut_mor = cubesfc_graph::metrics::edgecut(&g, &mor);
+        assert!(
+            cut_sfc <= cut_mor,
+            "Hilbert segments should cut no more than Z-order: {cut_sfc} vs {cut_mor}"
+        );
+    }
+
+    #[test]
+    fn schedule_ablation_entry_point() {
+        let sched = Schedule::hilbert_peano(1, 1).unwrap(); // Ne = 6
+        let (mesh, p) = partition_sfc_with_schedule(&sched, 12).unwrap();
+        assert_eq!(mesh.num_elems(), 216);
+        assert_eq!(p.nparts(), 12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Recursive coordinate bisection (RCB) — the classic *geometric*
+//! partitioner (Berger & Bokhari), added as a second non-graph baseline.
+//!
+//! RCB is what many structured-mesh codes used before SFC partitioning
+//! (and what Zoltan still offers alongside its SFC methods): recursively
+//! split the element set at the median of the coordinate axis with the
+//! largest spread. On the sphere we use the 3-D Cartesian centroids, so
+//! cuts are planes through the sphere.
+//!
+//! Like the SFC, RCB is balance-exact for divisor processor counts; unlike
+//! the SFC its parts can straddle awkward diagonal boundaries (and need a
+//! full sort per level to build). The comparison quantifies how much of
+//! the SFC's win is "geometry beats graphs" versus "curves beat boxes".
+
+use crate::error::PartitionError;
+use cubesfc_graph::Partition;
+use cubesfc_mesh::CubedSphere;
+
+/// Partition by recursive coordinate bisection into `nproc` parts.
+///
+/// Part sizes match the SFC rule: `⌈K/nproc⌉` for the first `K mod nproc`
+/// parts, `⌊K/nproc⌋` for the rest, so `LB(nelemd) = 0` whenever
+/// `nproc | K`.
+pub fn partition_rcb(mesh: &CubedSphere, nproc: usize) -> Result<Partition, PartitionError> {
+    let k = mesh.num_elems();
+    if nproc == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    if nproc > k {
+        return Err(PartitionError::TooManyParts { nproc, nelems: k });
+    }
+    let centers = mesh.centers();
+    let mut assign = vec![0u32; k];
+    let mut elems: Vec<u32> = (0..k as u32).collect();
+    recurse(&centers, &mut elems, 0, nproc, &mut assign);
+    Ok(Partition::new(nproc, assign))
+}
+
+/// Split `elems` between part ranges `[lo, lo+k0)` and `[lo+k0, lo+k)`.
+fn recurse(
+    centers: &[cubesfc_mesh::SpherePoint],
+    elems: &mut [u32],
+    lo: usize,
+    k: usize,
+    assign: &mut [u32],
+) {
+    if k == 1 || elems.is_empty() {
+        for &e in elems.iter() {
+            assign[e as usize] = lo as u32;
+        }
+        return;
+    }
+    // Axis with the largest coordinate spread.
+    let mut mins = [f64::MAX; 3];
+    let mut maxs = [f64::MIN; 3];
+    for &e in elems.iter() {
+        let p = centers[e as usize].xyz;
+        for a in 0..3 {
+            mins[a] = mins[a].min(p[a]);
+            maxs[a] = maxs[a].max(p[a]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (maxs[a] - mins[a]).total_cmp(&(maxs[b] - mins[b])))
+        .unwrap();
+
+    // Element-count split proportional to the part-count split, so exact
+    // balance survives the recursion for divisor processor counts.
+    let k0 = k / 2;
+    let n0 = ((elems.len() * k0 + k / 2) / k).min(elems.len()); // round(len·k0/k)
+    if n0 > 0 && n0 < elems.len() {
+        // After this, elems[..n0] are the n0 smallest along the axis.
+        elems.select_nth_unstable_by(n0, |&a, &b| {
+            centers[a as usize].xyz[axis].total_cmp(&centers[b as usize].xyz[axis])
+        });
+    }
+    let (left, right) = elems.split_at_mut(n0);
+    recurse(centers, left, lo, k0, assign);
+    recurse(centers, right, lo + k0, k - k0, assign);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesfc_graph::load_balance;
+
+    #[test]
+    fn rcb_is_balance_exact_for_divisors() {
+        let mesh = CubedSphere::new(8); // K = 384
+        for nproc in [2usize, 4, 6, 12, 48, 96, 384] {
+            let p = partition_rcb(&mesh, nproc).unwrap();
+            let sizes: Vec<u64> = p.part_sizes().iter().map(|&s| s as u64).collect();
+            assert_eq!(load_balance(&sizes), 0.0, "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    fn rcb_handles_non_divisors() {
+        let mesh = CubedSphere::new(4); // K = 96
+        for nproc in [5usize, 7, 13, 95] {
+            let p = partition_rcb(&mesh, nproc).unwrap();
+            let sizes = p.part_sizes();
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "nproc={nproc}: {sizes:?}");
+            assert!(*min >= 1);
+        }
+    }
+
+    #[test]
+    fn rcb_parts_are_geometrically_coherent() {
+        // Every part's members should be closer to their own centroid than
+        // to the antipode — a weak but real compactness check.
+        let mesh = CubedSphere::new(8);
+        let centers = mesh.centers();
+        let p = partition_rcb(&mesh, 24).unwrap();
+        for members in p.part_members() {
+            let mut c = [0.0f64; 3];
+            for &e in &members {
+                for a in 0..3 {
+                    c[a] += centers[e as usize].xyz[a];
+                }
+            }
+            let norm = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();
+            // A degenerate (spread-out) part has a near-zero mean vector.
+            assert!(
+                norm / members.len() as f64 > 0.5,
+                "part too dispersed: |mean| = {}",
+                norm / members.len() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn rcb_works_on_any_face_size() {
+        // No 2^n·3^m·5^l restriction — RCB only needs coordinates.
+        let mesh = CubedSphere::new(7);
+        let p = partition_rcb(&mesh, 21).unwrap();
+        assert_eq!(p.nonempty_parts(), 21);
+    }
+
+    #[test]
+    fn rcb_error_cases() {
+        let mesh = CubedSphere::new(2);
+        assert!(matches!(
+            partition_rcb(&mesh, 0),
+            Err(PartitionError::ZeroParts)
+        ));
+        assert!(matches!(
+            partition_rcb(&mesh, 100),
+            Err(PartitionError::TooManyParts { .. })
+        ));
+    }
+}

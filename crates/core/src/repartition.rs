@@ -1,0 +1,181 @@
+//! Repartitioning and element migration.
+//!
+//! The paper's introduction credits SFCs' success in *adaptive* codes
+//! ("Space-filling curves (SFC) have been successfully applied in
+//! parallel adaptive mesh refinement strategies") before applying them
+//! statically. The property that makes them good at adaptivity is
+//! *incrementality*: when the load changes (weights shift, a processor
+//! is added), the new curve split is close to the old one, so few
+//! elements migrate. Graph partitioners recompute from scratch and may
+//! move almost everything.
+//!
+//! This module measures that: the migration volume between two partitions
+//! (optimally matched over part renumberings, so "everything moved one
+//! rank over" does not count as a full reshuffle).
+
+use cubesfc_graph::Partition;
+
+/// Number of elements whose part differs between `a` and `b`
+/// (raw, label-sensitive).
+pub fn raw_migration(a: &Partition, b: &Partition) -> usize {
+    assert_eq!(a.len(), b.len(), "partition size mismatch");
+    a.assignment()
+        .iter()
+        .zip(b.assignment())
+        .filter(|(x, y)| x != y)
+        .count()
+}
+
+/// Migration volume under the best greedy matching of `b`'s part labels
+/// onto `a`'s: each new part is relabelled to the old part it overlaps
+/// most (one-to-one, largest overlaps first), then the number of moved
+/// elements is counted.
+///
+/// This is the number an element-migration layer would actually ship,
+/// since rank labels are arbitrary.
+pub fn matched_migration(a: &Partition, b: &Partition) -> usize {
+    assert_eq!(a.len(), b.len(), "partition size mismatch");
+    let ka = a.nparts();
+    let kb = b.nparts();
+    // Overlap counts.
+    let mut overlap = vec![0usize; ka * kb];
+    for (x, y) in a.assignment().iter().zip(b.assignment()) {
+        overlap[*x as usize * kb + *y as usize] += 1;
+    }
+    // Greedy maximum matching by overlap.
+    let mut pairs: Vec<(usize, usize, usize)> = Vec::with_capacity(ka * kb);
+    for pa in 0..ka {
+        for pb in 0..kb {
+            let o = overlap[pa * kb + pb];
+            if o > 0 {
+                pairs.push((o, pa, pb));
+            }
+        }
+    }
+    pairs.sort_unstable_by(|x, y| y.0.cmp(&x.0));
+    let mut a_used = vec![false; ka];
+    let mut b_mapped = vec![usize::MAX; kb];
+    for (_, pa, pb) in pairs {
+        if !a_used[pa] && b_mapped[pb] == usize::MAX {
+            a_used[pa] = true;
+            b_mapped[pb] = pa;
+        }
+    }
+    // Unmatched new parts keep fresh labels (always migrations).
+    let mut next_fresh = ka;
+    for m in b_mapped.iter_mut() {
+        if *m == usize::MAX {
+            *m = next_fresh;
+            next_fresh += 1;
+        }
+    }
+    a.assignment()
+        .iter()
+        .zip(b.assignment())
+        .filter(|(x, y)| **x as usize != b_mapped[**y as usize])
+        .count()
+}
+
+/// Fraction of elements migrating (matched), in `[0, 1]`.
+pub fn migration_fraction(a: &Partition, b: &Partition) -> f64 {
+    matched_migration(a, b) as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{partition, PartitionMethod, PartitionOptions};
+    use crate::sfc_partition::partition_curve_weighted;
+    use cubesfc_mesh::CubedSphere;
+
+    #[test]
+    fn identical_partitions_do_not_migrate() {
+        let p = Partition::new(3, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(raw_migration(&p, &p), 0);
+        assert_eq!(matched_migration(&p, &p), 0);
+    }
+
+    #[test]
+    fn relabeled_partitions_do_not_migrate_after_matching() {
+        let a = Partition::new(2, vec![0, 0, 1, 1]);
+        let b = Partition::new(2, vec![1, 1, 0, 0]);
+        assert_eq!(raw_migration(&a, &b), 4);
+        assert_eq!(matched_migration(&a, &b), 0);
+    }
+
+    #[test]
+    fn single_move_counts_once() {
+        let a = Partition::new(2, vec![0, 0, 1, 1]);
+        let b = Partition::new(2, vec![0, 1, 1, 1]);
+        assert_eq!(matched_migration(&a, &b), 1);
+    }
+
+    #[test]
+    fn part_count_change_is_handled() {
+        let a = Partition::new(2, vec![0, 0, 1, 1]);
+        let b = Partition::new(4, vec![0, 1, 2, 3]);
+        // Best matching keeps 2 elements in place.
+        assert_eq!(matched_migration(&a, &b), 2);
+    }
+
+    #[test]
+    fn sfc_weight_perturbation_migrates_few_elements() {
+        // Perturb per-element weights slightly: the weighted SFC split
+        // moves only boundary elements, while a reseeded KWAY partition
+        // reshuffles a large fraction.
+        let mesh = CubedSphere::new(8); // K = 384
+        let nproc = 48;
+        let curve = mesh.curve().unwrap();
+        let k = mesh.num_elems();
+
+        let w0 = vec![1.0; k];
+        let mut w1 = w0.clone();
+        // 10% heavier in one octant.
+        for e in mesh.elems() {
+            if mesh.center(e).xyz[0] > 0.5 {
+                w1[e.index()] = 1.1;
+            }
+        }
+        let sfc_a = partition_curve_weighted(curve, nproc, &w0).unwrap();
+        let sfc_b = partition_curve_weighted(curve, nproc, &w1).unwrap();
+        let sfc_moved = migration_fraction(&sfc_a, &sfc_b);
+        assert!(
+            sfc_moved < 0.20,
+            "SFC migration should be incremental: {sfc_moved}"
+        );
+
+        // Graph partitioner with a different seed (modelling the "from
+        // scratch" repartition an adaptive step would trigger).
+        let mut o1 = PartitionOptions::default();
+        o1.graph_config.seed = 1;
+        let mut o2 = PartitionOptions::default();
+        o2.graph_config.seed = 2;
+        let kw_a = partition(&mesh, PartitionMethod::MetisKway, nproc, &o1).unwrap();
+        let kw_b = partition(&mesh, PartitionMethod::MetisKway, nproc, &o2).unwrap();
+        let kw_moved = migration_fraction(&kw_a, &kw_b);
+        assert!(
+            sfc_moved < kw_moved,
+            "SFC ({sfc_moved}) should migrate less than reseeded KWAY ({kw_moved})"
+        );
+    }
+
+    #[test]
+    fn processor_count_change_migration_is_bounded() {
+        // Going from P to 2P processors with an SFC split: every old part
+        // splits in two, so after matching at most half the elements move.
+        let mesh = CubedSphere::new(8);
+        let curve = mesh.curve().unwrap();
+        let a = crate::sfc_partition::partition_curve(curve, 48).unwrap();
+        let b = crate::sfc_partition::partition_curve(curve, 96).unwrap();
+        let frac = migration_fraction(&a, &b);
+        assert!(frac <= 0.5 + 1e-12, "doubling procs moved {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = Partition::new(2, vec![0, 1]);
+        let b = Partition::new(2, vec![0, 1, 1]);
+        raw_migration(&a, &b);
+    }
+}

@@ -1,0 +1,229 @@
+//! Slicing the global space-filling curve into processor segments.
+//!
+//! "The space-filling curve is then subdivided into equal sized segments
+//! to achieve the partitioning" (paper §3). For the paper's experiments
+//! the processor counts divide `K` exactly, giving `LB(nelemd) = 0`; for
+//! other counts the segments differ by at most one element. The weighted
+//! variant (a natural extension used by later SFC partitioners) splits
+//! the curve at prefix-sum boundaries of per-element work weights.
+
+use crate::error::PartitionError;
+use cubesfc_graph::Partition;
+use cubesfc_mesh::GlobalCurve;
+
+/// Partition the curve into `nproc` near-equal contiguous segments.
+///
+/// Segment sizes are `⌈K/nproc⌉` for the first `K mod nproc` parts and
+/// `⌊K/nproc⌋` for the rest, so `LB(nelemd) = 0` exactly when
+/// `nproc | K`.
+pub fn partition_curve(curve: &GlobalCurve, nproc: usize) -> Result<Partition, PartitionError> {
+    let k = curve.len();
+    if nproc == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    if nproc > k {
+        return Err(PartitionError::TooManyParts { nproc, nelems: k });
+    }
+    let base = k / nproc;
+    let extra = k % nproc;
+    let mut assign = vec![0u32; k];
+    let mut rank = 0usize;
+    for p in 0..nproc {
+        let len = base + usize::from(p < extra);
+        for _ in 0..len {
+            assign[curve.elem_at(rank).index()] = p as u32;
+            rank += 1;
+        }
+    }
+    Ok(Partition::new(nproc, assign))
+}
+
+/// Partition the curve into `nproc` contiguous segments of near-equal
+/// total *weight* (prefix-sum splitting).
+///
+/// `weights[e]` is the work of element `e` (indexed by element id, not
+/// curve rank). Splits are placed where the running weight crosses
+/// `i·W/nproc`; every part receives at least one element when
+/// `nproc ≤ K`.
+pub fn partition_curve_weighted(
+    curve: &GlobalCurve,
+    nproc: usize,
+    weights: &[f64],
+) -> Result<Partition, PartitionError> {
+    let k = curve.len();
+    if nproc == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
+    if nproc > k {
+        return Err(PartitionError::TooManyParts { nproc, nelems: k });
+    }
+    if weights.len() != k {
+        return Err(PartitionError::BadWeights {
+            reason: "weight vector length must equal element count",
+        });
+    }
+    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+        return Err(PartitionError::BadWeights {
+            reason: "weights must be finite and non-negative",
+        });
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(PartitionError::BadWeights {
+            reason: "total weight must be positive",
+        });
+    }
+
+    let mut assign = vec![0u32; k];
+    let mut part = 0usize;
+    let mut acc = 0.0f64;
+    let mut count_in_part = 0usize;
+    for rank in 0..k {
+        let e = curve.elem_at(rank);
+        let remaining = k - rank; // elements still to assign, incl. this
+        let parts_after = nproc - part - 1;
+        // Advance when the running weight crossed this part's boundary —
+        // or when the remaining elements are only just enough to give one
+        // to every later part. Never advance away from an empty part.
+        let target = total * (part as f64 + 1.0) / nproc as f64;
+        let must = count_in_part > 0 && remaining == parts_after;
+        let may = count_in_part > 0 && acc >= target && remaining > parts_after;
+        if part + 1 < nproc && (must || may) {
+            part += 1;
+            count_in_part = 0;
+        }
+        assign[e.index()] = part as u32;
+        count_in_part += 1;
+        acc += weights[e.index()];
+    }
+    Ok(Partition::new(nproc, assign))
+}
+
+/// The contiguous curve ranks `[start, end)` owned by each part of an SFC
+/// partition (diagnostics / tests).
+pub fn segment_ranges(curve: &GlobalCurve, partition: &Partition) -> Vec<(usize, usize)> {
+    let mut ranges = vec![(usize::MAX, 0usize); partition.nparts()];
+    for rank in 0..curve.len() {
+        let p = partition.part_of(curve.elem_at(rank).index());
+        let r = &mut ranges[p];
+        r.0 = r.0.min(rank);
+        r.1 = r.1.max(rank + 1);
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesfc_graph::load_balance;
+
+    fn curve(ne: usize) -> GlobalCurve {
+        GlobalCurve::build(ne).unwrap()
+    }
+
+    #[test]
+    fn exact_divisor_gives_zero_imbalance() {
+        // The paper's K = 384 configurations: 1..384 processors.
+        let c = curve(8);
+        for nproc in [1usize, 2, 4, 6, 8, 16, 32, 96, 384] {
+            let p = partition_curve(&c, nproc).unwrap();
+            let sizes: Vec<u64> = p.part_sizes().iter().map(|&s| s as u64).collect();
+            assert_eq!(load_balance(&sizes), 0.0, "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    fn segments_are_contiguous_on_curve() {
+        let c = curve(4);
+        let p = partition_curve(&c, 7).unwrap();
+        let ranges = segment_ranges(&c, &p);
+        // Ranges tile [0, K) without overlap.
+        let mut sorted = ranges.clone();
+        sorted.sort();
+        let mut expect_start = 0;
+        for (s, e) in sorted {
+            assert_eq!(s, expect_start);
+            assert!(e > s);
+            expect_start = e;
+        }
+        assert_eq!(expect_start, c.len());
+    }
+
+    #[test]
+    fn non_divisor_sizes_differ_by_at_most_one() {
+        let c = curve(4); // K = 96
+        for nproc in [5usize, 7, 11, 13, 50, 95] {
+            let p = partition_curve(&c, nproc).unwrap();
+            let sizes = p.part_sizes();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "nproc={nproc}: {sizes:?}");
+            assert!(min >= 1);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        let c = curve(2);
+        assert!(matches!(
+            partition_curve(&c, 0),
+            Err(PartitionError::ZeroParts)
+        ));
+        assert!(matches!(
+            partition_curve(&c, 25),
+            Err(PartitionError::TooManyParts { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_split_balances_weight_not_count() {
+        let c = curve(2); // K = 24
+        // First half of the curve is 3× heavier.
+        let mut w = vec![1.0; 24];
+        for rank in 0..12 {
+            w[c.elem_at(rank).index()] = 3.0;
+        }
+        let p = partition_curve_weighted(&c, 2, &w).unwrap();
+        // Balanced by weight: part 0 should get fewer elements.
+        let sizes = p.part_sizes();
+        assert!(sizes[0] < sizes[1], "{sizes:?}");
+        let weight_of = |part: u32| -> f64 {
+            (0..24)
+                .filter(|&e| p.part_of(e) == part as usize)
+                .map(|e| w[e])
+                .sum()
+        };
+        let (w0, w1) = (weight_of(0), weight_of(1));
+        assert!((w0 - w1).abs() <= 3.0, "{w0} vs {w1}");
+    }
+
+    #[test]
+    fn weighted_split_every_part_nonempty() {
+        let c = curve(2);
+        // Extremely skewed: all weight on the first element.
+        let mut w = vec![1e-9; 24];
+        w[c.elem_at(0).index()] = 100.0;
+        let p = partition_curve_weighted(&c, 24, &w).unwrap();
+        assert_eq!(p.nonempty_parts(), 24);
+    }
+
+    #[test]
+    fn weighted_uniform_matches_unweighted() {
+        let c = curve(3); // K = 54
+        let w = vec![2.5; 54];
+        let a = partition_curve(&c, 6).unwrap();
+        let b = partition_curve_weighted(&c, 6, &w).unwrap();
+        assert_eq!(a.part_sizes(), b.part_sizes());
+    }
+
+    #[test]
+    fn weighted_error_cases() {
+        let c = curve(2);
+        assert!(partition_curve_weighted(&c, 2, &vec![1.0; 5]).is_err());
+        assert!(partition_curve_weighted(&c, 2, &vec![0.0; 24]).is_err());
+        assert!(partition_curve_weighted(&c, 2, &vec![-1.0; 24]).is_err());
+        let mut w = vec![1.0; 24];
+        w[3] = f64::NAN;
+        assert!(partition_curve_weighted(&c, 2, &w).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Rendering partitions and curves on the flattened cube.
+//!
+//! The paper presents its construction on a cube net (Fig. 6: "A mapping
+//! of a level 1 Hilbert curve onto the flattened cube"). These helpers
+//! produce the same kind of pictures — as ASCII for terminals and test
+//! baselines, and as PPM images for papers/slides.
+//!
+//! Net layout (faces labelled with their [`cubesfc_mesh::FaceId`]):
+//!
+//! ```text
+//!        ┌───┐
+//!        │ 4 │            north cap
+//!    ┌───┼───┼───┬───┐
+//!    │ 3 │ 0 │ 1 │ 2 │    equatorial ring
+//!    └───┼───┼───┴───┘
+//!        │ 5 │            south cap
+//!        └───┘
+//! ```
+
+use cubesfc_graph::Partition;
+use cubesfc_mesh::{CubedSphere, FaceId, GlobalCurve};
+
+/// Net column offset (in faces) of each face id, and row band.
+/// Bands: 0 = top, 1 = middle, 2 = bottom.
+fn net_position(face: FaceId) -> (usize, usize) {
+    match face.0 {
+        4 => (1, 0),
+        3 => (0, 1),
+        0 => (1, 1),
+        1 => (2, 1),
+        2 => (3, 1),
+        5 => (1, 2),
+        _ => unreachable!("six faces"),
+    }
+}
+
+/// The net cell (column, row) of element `(face, i, j)`; rows count
+/// downward in the rendered output, with face-local `j` increasing upward.
+fn net_cell(ne: usize, face: FaceId, i: usize, j: usize) -> (usize, usize) {
+    let (fc, fr) = net_position(face);
+    (fc * ne + i, fr * ne + (ne - 1 - j))
+}
+
+/// Character for part `p` (cycles through 62 symbols).
+fn part_char(p: usize) -> char {
+    const ALPHABET: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    ALPHABET[p % ALPHABET.len()] as char
+}
+
+/// Render a partition as an ASCII cube net: one character per element,
+/// `.` for net cells outside the six faces.
+pub fn render_partition_ascii(mesh: &CubedSphere, partition: &Partition) -> String {
+    let ne = mesh.ne();
+    assert_eq!(partition.len(), mesh.num_elems(), "partition/mesh mismatch");
+    let (w, h) = (4 * ne, 3 * ne);
+    let mut grid = vec![vec!['.'; w]; h];
+    for e in mesh.elems() {
+        let (face, i, j) = mesh.locate(e);
+        let (c, r) = net_cell(ne, face, i, j);
+        grid[r][c] = part_char(partition.part_of(e.index()));
+    }
+    let mut out = String::with_capacity((w + 1) * h);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the curve's visit order as an ASCII net with the low decimal
+/// digit of each element's rank — enough to trace the path by eye on
+/// small meshes.
+pub fn render_curve_ascii(mesh: &CubedSphere, curve: &GlobalCurve) -> String {
+    let ne = mesh.ne();
+    let (w, h) = (4 * ne, 3 * ne);
+    let mut grid = vec![vec!['.'; w]; h];
+    for e in mesh.elems() {
+        let (face, i, j) = mesh.locate(e);
+        let (c, r) = net_cell(ne, face, i, j);
+        grid[r][c] = char::from_digit((curve.rank_of(e) % 10) as u32, 10).unwrap();
+    }
+    let mut out = String::with_capacity((w + 1) * h);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// A color for part `p`: evenly distributed hues via the golden ratio.
+fn part_color(p: usize) -> [u8; 3] {
+    let h = (p as f64 * 0.618_033_988_749_895) % 1.0;
+    hsv_to_rgb(h, 0.65, 0.95)
+}
+
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> [u8; 3] {
+    let i = (h * 6.0).floor();
+    let f = h * 6.0 - i;
+    let p = v * (1.0 - s);
+    let q = v * (1.0 - f * s);
+    let t = v * (1.0 - (1.0 - f) * s);
+    let (r, g, b) = match (i as i64).rem_euclid(6) {
+        0 => (v, t, p),
+        1 => (q, v, p),
+        2 => (p, v, t),
+        3 => (p, q, v),
+        4 => (t, p, v),
+        _ => (v, p, q),
+    };
+    [
+        (r * 255.0).round() as u8,
+        (g * 255.0).round() as u8,
+        (b * 255.0).round() as u8,
+    ]
+}
+
+/// Render a partition as a binary PPM (P6) image of the cube net, `scale`
+/// pixels per element. Background is white; parts are colored.
+pub fn render_partition_ppm(
+    mesh: &CubedSphere,
+    partition: &Partition,
+    scale: usize,
+) -> Vec<u8> {
+    let ne = mesh.ne();
+    assert!(scale >= 1, "scale must be positive");
+    assert_eq!(partition.len(), mesh.num_elems(), "partition/mesh mismatch");
+    let (w, h) = (4 * ne * scale, 3 * ne * scale);
+    let mut pixels = vec![255u8; w * h * 3];
+    for e in mesh.elems() {
+        let (face, i, j) = mesh.locate(e);
+        let (c, r) = net_cell(ne, face, i, j);
+        let color = part_color(partition.part_of(e.index()));
+        for dy in 0..scale {
+            for dx in 0..scale {
+                let px = c * scale + dx;
+                let py = r * scale + dy;
+                let o = (py * w + px) * 3;
+                pixels[o..o + 3].copy_from_slice(&color);
+            }
+        }
+    }
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    out.extend_from_slice(&pixels);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{partition_default, PartitionMethod};
+
+    #[test]
+    fn ascii_net_has_expected_shape() {
+        let mesh = CubedSphere::new(2);
+        let p = partition_default(&mesh, PartitionMethod::Sfc, 4).unwrap();
+        let art = render_partition_ascii(&mesh, &p);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6); // 3 bands × ne
+        assert!(lines.iter().all(|l| l.chars().count() == 8)); // 4 × ne
+        // 24 element cells, 24 background cells.
+        let filled = art.chars().filter(|c| *c != '.' && *c != '\n').count();
+        assert_eq!(filled, 24);
+    }
+
+    #[test]
+    fn every_part_appears_in_the_picture() {
+        let mesh = CubedSphere::new(4);
+        let p = partition_default(&mesh, PartitionMethod::Sfc, 8).unwrap();
+        let art = render_partition_ascii(&mesh, &p);
+        for part in 0..8 {
+            assert!(
+                art.contains(part_char(part)),
+                "part {part} missing from render"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_render_digits_trace_the_order() {
+        let mesh = CubedSphere::new(2);
+        let curve = mesh.curve().unwrap();
+        let art = render_curve_ascii(&mesh, curve);
+        // Every digit appears (24 elements cycle 0..9 at least twice).
+        for d in '0'..='9' {
+            assert!(art.contains(d));
+        }
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let mesh = CubedSphere::new(2);
+        let p = partition_default(&mesh, PartitionMethod::MetisRb, 3).unwrap();
+        let ppm = render_partition_ppm(&mesh, &p, 4);
+        let header = b"P6\n32 24\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        assert_eq!(ppm.len(), header.len() + 32 * 24 * 3);
+    }
+
+    #[test]
+    fn part_colors_are_distinct_for_small_counts() {
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..16 {
+            assert!(seen.insert(part_color(p)), "color collision at {p}");
+        }
+    }
+
+    #[test]
+    fn golden_level1_curve_net() {
+        // The exact Figure-6-style rendering of the Ne = 2 global curve.
+        // This pins the curve construction end to end: face order, per-face
+        // dihedral transforms, and the net layout. Update deliberately if
+        // the (documented) face threading ever changes.
+        let mesh = CubedSphere::new(2);
+        let curve = mesh.curve().unwrap();
+        let expected = "\
+..12....
+..03....
+98569034
+67478125
+..32....
+..01....
+";
+        assert_eq!(render_curve_ascii(&mesh, curve), expected);
+    }
+
+    #[test]
+    fn net_positions_cover_disjoint_cells() {
+        let ne = 3;
+        let mesh = CubedSphere::new(ne);
+        let mut seen = std::collections::HashSet::new();
+        for e in mesh.elems() {
+            let (face, i, j) = mesh.locate(e);
+            assert!(seen.insert(net_cell(ne, face, i, j)), "overlap at {e}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the top-level partitioning API.
+
+use cubesfc::{
+    matched_migration, partition_curve, partition_curve_weighted, partition_default,
+    CubedSphere, PartitionMethod,
+};
+use proptest::prelude::*;
+
+fn arb_ne() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(2usize), Just(3), Just(4), Just(5), Just(6)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn weighted_splits_are_contiguous_and_total(
+        ne in arb_ne(),
+        nproc_frac in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mesh = CubedSphere::new(ne);
+        let k = mesh.num_elems();
+        let nproc = ((k as f64 * nproc_frac) as usize).clamp(1, k);
+        let curve = mesh.curve().unwrap();
+
+        // Random positive weights.
+        let mut rng = cubesfc::graph::SplitMix64::new(seed);
+        let weights: Vec<f64> = (0..k).map(|_| 0.5 + (rng.below(100) as f64) / 50.0).collect();
+        let p = partition_curve_weighted(curve, nproc, &weights).unwrap();
+
+        // Every part non-empty, total preserved.
+        prop_assert_eq!(p.nonempty_parts(), nproc);
+        prop_assert_eq!(p.part_sizes().iter().sum::<usize>(), k);
+
+        // Contiguity on the curve: part ids are non-decreasing along it.
+        let mut prev = 0usize;
+        for r in 0..k {
+            let part = p.part_of(curve.elem_at(r).index());
+            prop_assert!(part == prev || part == prev + 1,
+                "rank {} jumps from part {} to {}", r, prev, part);
+            prev = part;
+        }
+    }
+
+    #[test]
+    fn weighted_split_balances_within_max_weight(
+        ne in arb_ne(),
+        seed in any::<u64>(),
+    ) {
+        let mesh = CubedSphere::new(ne);
+        let k = mesh.num_elems();
+        let nproc = (k / 4).max(2);
+        let curve = mesh.curve().unwrap();
+        let mut rng = cubesfc::graph::SplitMix64::new(seed);
+        let weights: Vec<f64> = (0..k).map(|_| 0.5 + (rng.below(100) as f64) / 50.0).collect();
+        let p = partition_curve_weighted(curve, nproc, &weights).unwrap();
+
+        // Prefix splitting guarantees each part's weight is within one
+        // max-element-weight of the ideal share on either side... except
+        // for the forced one-element tail assignments; assert the max
+        // part weight stays below ideal + 2·wmax.
+        let ideal = weights.iter().sum::<f64>() / nproc as f64;
+        let wmax = weights.iter().cloned().fold(0.0f64, f64::max);
+        let mut per_part = vec![0.0f64; nproc];
+        for e in 0..k {
+            per_part[p.part_of(e)] += weights[e];
+        }
+        let maxw = per_part.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(maxw <= ideal + 2.0 * wmax + 1e-9,
+            "max part weight {} vs ideal {} (wmax {})", maxw, ideal, wmax);
+    }
+
+    #[test]
+    fn migration_is_a_metric_like_quantity(
+        ne in prop_oneof![Just(2usize), Just(3), Just(4)],
+        k1 in 2usize..8,
+        k2 in 2usize..8,
+    ) {
+        let mesh = CubedSphere::new(ne);
+        let k = mesh.num_elems();
+        prop_assume!(k1 <= k && k2 <= k);
+        let curve = mesh.curve().unwrap();
+        let a = partition_curve(curve, k1).unwrap();
+        let b = partition_curve(curve, k2).unwrap();
+        // Symmetric-ish and bounded.
+        let ab = matched_migration(&a, &b);
+        let ba = matched_migration(&b, &a);
+        prop_assert!(ab <= k && ba <= k);
+        prop_assert_eq!(matched_migration(&a, &a), 0);
+        // Equal part counts: identical curve splits.
+        if k1 == k2 {
+            prop_assert_eq!(ab, 0);
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_on_the_trivial_partition(ne in arb_ne()) {
+        // nproc = 1: everything in part 0 no matter the method.
+        let mesh = CubedSphere::new(ne);
+        for m in PartitionMethod::ALL {
+            let p = partition_default(&mesh, m, 1).unwrap();
+            prop_assert!(p.assignment().iter().all(|&x| x == 0), "{}", m);
+        }
+    }
+}

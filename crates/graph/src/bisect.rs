@@ -1,0 +1,215 @@
+//! Multilevel bisection and the recursive-bisection (RB) driver —
+//! METIS's `PartGraphRecursive` analogue.
+//!
+//! "The recursive bisection (RB) algorithm is best for load balancing,
+//! but results in larger edgecuts and total communication volume"
+//! (paper §2).
+
+use crate::coarsen::coarsen;
+use crate::csr::CsrGraph;
+use crate::fm::{fm_refine, BisectTargets};
+use crate::initial::greedy_graph_growing;
+use crate::partition::{Partition, PartitionConfig};
+use crate::rng::SplitMix64;
+
+/// Multilevel 2-way partition of `g` with part-0 weight target
+/// `t0 = round(frac0 × total)`.
+///
+/// Coarsens to ~`cfg.coarsen_to` vertices, bisects the coarsest graph by
+/// greedy growing, then projects back up with FM refinement per level.
+pub fn multilevel_bisect(
+    g: &CsrGraph,
+    frac0: f64,
+    cfg: &PartitionConfig,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    let total = g.total_vwgt();
+    let t0 = ((total as f64) * frac0).round() as u64;
+    let t1 = total - t0.min(total);
+
+    let levels = coarsen(g, cfg.coarsen_to.max(32), rng);
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(g);
+
+    let targets = BisectTargets::with_ub(t0, t1, cfg.ub_factor, coarsest.max_vwgt());
+    let mut parts = greedy_graph_growing(coarsest, &targets, cfg.init_tries, rng);
+    fm_refine(coarsest, &mut parts, &targets, cfg.refine_passes);
+
+    // Uncoarsen: project through each level, refining as we go.
+    for li in (0..levels.len()).rev() {
+        let fine_graph = if li == 0 { g } else { &levels[li - 1].graph };
+        let cmap = &levels[li].cmap;
+        let mut fine_parts = vec![0u32; fine_graph.nv()];
+        for (v, &c) in cmap.iter().enumerate() {
+            fine_parts[v] = parts[c as usize];
+        }
+        let targets = BisectTargets::with_ub(t0, t1, cfg.ub_factor, fine_graph.max_vwgt());
+        fm_refine(fine_graph, &mut fine_parts, &targets, cfg.refine_passes);
+        parts = fine_parts;
+    }
+    parts
+}
+
+/// Recursive bisection into `cfg.nparts` parts.
+///
+/// At each step the remaining part range `[lo, hi)` is split as evenly as
+/// possible (`⌊k/2⌋` vs `⌈k/2⌉`) with the part-0 weight fraction matching
+/// the part-count split, so non-power-of-two part counts are handled.
+pub fn recursive_bisection(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
+    assert!(cfg.nparts >= 1, "nparts must be positive");
+    let mut assign = vec![0u32; g.nv()];
+    let mut rng = SplitMix64::new(cfg.seed);
+    let all: Vec<u32> = (0..g.nv() as u32).collect();
+    rb_recurse(g, &all, 0, cfg.nparts, cfg, &mut rng, &mut assign);
+    // Per-level slack can still stack through ~log2(k) levels; enforce the
+    // *global* tolerance at the end, as METIS does.
+    let target = g.total_vwgt() / cfg.nparts as u64;
+    let cap = crate::partition::weight_cap(target, cfg.ub_factor, g.max_vwgt());
+    let mut weights = vec![0u64; cfg.nparts];
+    for (v, &p) in assign.iter().enumerate() {
+        weights[p as usize] += g.vwgt[v] as u64;
+    }
+    crate::kway::rebalance_kway(g, &mut assign, &mut weights, cap);
+    Partition::new(cfg.nparts, assign)
+}
+
+fn rb_recurse(
+    g: &CsrGraph,
+    verts: &[u32],
+    lo: usize,
+    k: usize,
+    cfg: &PartitionConfig,
+    rng: &mut SplitMix64,
+    assign: &mut [u32],
+) {
+    if k == 1 || verts.is_empty() {
+        // Degenerate recursion: fewer vertices than parts leaves the
+        // remaining parts empty (possible when k approaches n, as in the
+        // paper's one-element-per-processor runs).
+        for &v in verts {
+            assign[v as usize] = lo as u32;
+        }
+        return;
+    }
+    let (sub, map) = g.subgraph(verts);
+    let k0 = k / 2;
+    let frac0 = k0 as f64 / k as f64;
+    // Per-level balance must be tight: deviations compound multiplicatively
+    // through ~log2(k) levels, and RB is "best for load balancing" in the
+    // paper precisely because each bisection is held close to its target.
+    // weight_cap still allows +max_vwgt slack, so refinement never jams.
+    let level_cfg = PartitionConfig {
+        ub_factor: cfg.ub_factor.min(1.001),
+        ..*cfg
+    };
+    let parts = multilevel_bisect(&sub, frac0, &level_cfg, rng);
+
+    let mut side0 = Vec::new();
+    let mut side1 = Vec::new();
+    for (l, &p) in parts.iter().enumerate() {
+        if p == 0 {
+            side0.push(map[l]);
+        } else {
+            side1.push(map[l]);
+        }
+    }
+    rb_recurse(g, &side0, lo, k0, cfg, rng, assign);
+    rb_recurse(g, &side1, lo + k0, k - k0, cfg, rng, assign);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{edgecut, load_balance};
+
+    fn grid(w: usize, h: usize) -> CsrGraph {
+        let idx = |x: usize, y: usize| (y * w + x) as u32;
+        let mut lists = vec![Vec::new(); w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let mut l = Vec::new();
+                if x > 0 {
+                    l.push((idx(x - 1, y), 1));
+                }
+                if x + 1 < w {
+                    l.push((idx(x + 1, y), 1));
+                }
+                if y > 0 {
+                    l.push((idx(x, y - 1), 1));
+                }
+                if y + 1 < h {
+                    l.push((idx(x, y + 1), 1));
+                }
+                lists[idx(x, y) as usize] = l;
+            }
+        }
+        CsrGraph::from_lists(&lists).unwrap()
+    }
+
+    #[test]
+    fn rb_4way_on_grid_is_balanced_and_cheap() {
+        let g = grid(8, 8);
+        let p = recursive_bisection(&g, &PartitionConfig::new(4));
+        assert_eq!(p.nonempty_parts(), 4);
+        let lb = load_balance(&p.part_weights(&g));
+        assert!(lb < 0.12, "lb = {lb}");
+        let cut = edgecut(&g, &p);
+        // Optimal 4-way on 8×8 is 16 (two straight lines); allow slack.
+        assert!(cut <= 28, "cut = {cut}");
+    }
+
+    #[test]
+    fn rb_handles_non_power_of_two() {
+        let g = grid(9, 9); // 81 vertices
+        let p = recursive_bisection(&g, &PartitionConfig::new(3));
+        assert_eq!(p.nonempty_parts(), 3);
+        let w = p.part_weights(&g);
+        assert!(load_balance(&w) < 0.15, "weights = {w:?}");
+    }
+
+    #[test]
+    fn rb_single_part_is_trivial() {
+        let g = grid(4, 4);
+        let p = recursive_bisection(&g, &PartitionConfig::new(1));
+        assert!(p.assignment().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn rb_k_equals_n_assigns_singletons_mostly() {
+        // 16 vertices into 16 parts: every part has 0, 1, or 2 vertices
+        // (imbalance allowed by the +max_vwgt slack).
+        let g = grid(4, 4);
+        let p = recursive_bisection(&g, &PartitionConfig::new(16));
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| s <= 2), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn rb_is_deterministic_for_seed() {
+        let g = grid(6, 6);
+        let a = recursive_bisection(&g, &PartitionConfig::new(4).with_seed(1));
+        let b = recursive_bisection(&g, &PartitionConfig::new(4).with_seed(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multilevel_bisect_large_ring() {
+        // 512-vertex ring: forces several coarsening levels; best cut is 2.
+        let lists: Vec<Vec<(u32, u32)>> = (0..512)
+            .map(|v| {
+                vec![
+                    (((v + 511) % 512) as u32, 1),
+                    (((v + 1) % 512) as u32, 1),
+                ]
+            })
+            .collect();
+        let g = CsrGraph::from_lists(&lists).unwrap();
+        let cfg = PartitionConfig::new(2);
+        let mut rng = SplitMix64::new(3);
+        let parts = multilevel_bisect(&g, 0.5, &cfg, &mut rng);
+        let cut = crate::fm::cut_weight_2way(&g, &parts);
+        assert!(cut <= 6, "ring cut = {cut}");
+        let w0 = parts.iter().filter(|&&p| p == 0).count();
+        assert!((236..=276).contains(&w0), "w0 = {w0}");
+    }
+}

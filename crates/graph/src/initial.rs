@@ -1,0 +1,185 @@
+//! Initial bisection of the coarsest graph: greedy graph growing.
+//!
+//! From a random seed vertex, grow part 0 by repeatedly absorbing the
+//! frontier vertex whose move is cheapest (max FM gain), until part 0
+//! reaches its target weight. Several seeds are tried and the best result
+//! (after a quick FM polish) is kept.
+
+use crate::csr::CsrGraph;
+use crate::fm::{fm_refine, BisectTargets};
+use crate::rng::SplitMix64;
+
+/// Grow one candidate bisection from `seed`.
+fn grow_from(g: &CsrGraph, seed: usize, t0: u64) -> Vec<u32> {
+    let nv = g.nv();
+    let mut parts = vec![1u32; nv];
+    let mut w0 = 0u64;
+    let mut in_frontier = vec![false; nv];
+    let mut frontier: Vec<u32> = Vec::new();
+
+    let absorb = |v: usize,
+                      parts: &mut Vec<u32>,
+                      frontier: &mut Vec<u32>,
+                      in_frontier: &mut Vec<bool>,
+                      w0: &mut u64| {
+        parts[v] = 0;
+        *w0 += g.vwgt[v] as u64;
+        for (n, _) in g.neighbors(v) {
+            if parts[n] == 1 && !in_frontier[n] {
+                in_frontier[n] = true;
+                frontier.push(n as u32);
+            }
+        }
+    };
+
+    absorb(seed, &mut parts, &mut frontier, &mut in_frontier, &mut w0);
+    while w0 < t0 {
+        // Pick the frontier vertex with the max gain toward part 0:
+        // (weight to part 0) − (weight to part 1).
+        let mut best: Option<(i64, usize, usize)> = None; // (gain, idx, v)
+        for (idx, &fv) in frontier.iter().enumerate() {
+            let v = fv as usize;
+            if parts[v] == 0 {
+                continue; // already absorbed
+            }
+            let mut gain = 0i64;
+            for (n, w) in g.neighbors(v) {
+                if parts[n] == 0 {
+                    gain += w as i64;
+                } else {
+                    gain -= w as i64;
+                }
+            }
+            if best.map_or(true, |(bg, _, _)| gain > bg) {
+                best = Some((gain, idx, v));
+            }
+        }
+        let Some((_, idx, v)) = best else {
+            // Frontier exhausted (disconnected graph): absorb any part-1
+            // vertex to keep making progress.
+            match parts.iter().position(|&p| p == 1) {
+                Some(v) => {
+                    absorb(v, &mut parts, &mut frontier, &mut in_frontier, &mut w0);
+                    continue;
+                }
+                None => break,
+            }
+        };
+        frontier.swap_remove(idx);
+        absorb(v, &mut parts, &mut frontier, &mut in_frontier, &mut w0);
+    }
+    parts
+}
+
+/// Produce an initial bisection with part-0 target weight `t0`.
+///
+/// `tries` seeds are grown, each polished with a couple of FM passes; the
+/// lowest-cut feasible result wins.
+pub fn greedy_graph_growing(
+    g: &CsrGraph,
+    targets: &BisectTargets,
+    tries: usize,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    let nv = g.nv();
+    assert!(nv > 0, "cannot bisect an empty graph");
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    for _ in 0..tries.max(1) {
+        let seed = rng.below(nv);
+        let mut parts = grow_from(g, seed, targets.t0);
+        let cut = fm_refine(g, &mut parts, targets, 2);
+        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+            best = Some((cut, parts));
+        }
+    }
+    best.unwrap().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fm::cut_weight_2way;
+
+    fn grid(w: usize, h: usize) -> CsrGraph {
+        let idx = |x: usize, y: usize| (y * w + x) as u32;
+        let mut lists = vec![Vec::new(); w * h];
+        for y in 0..h {
+            for x in 0..w {
+                let mut l = Vec::new();
+                if x > 0 {
+                    l.push((idx(x - 1, y), 1));
+                }
+                if x + 1 < w {
+                    l.push((idx(x + 1, y), 1));
+                }
+                if y > 0 {
+                    l.push((idx(x, y - 1), 1));
+                }
+                if y + 1 < h {
+                    l.push((idx(x, y + 1), 1));
+                }
+                lists[idx(x, y) as usize] = l;
+            }
+        }
+        CsrGraph::from_lists(&lists).unwrap()
+    }
+
+    #[test]
+    fn ggg_produces_balanced_bisection() {
+        let g = grid(8, 8);
+        let t = BisectTargets::with_ub(32, 32, 1.03, 1);
+        let mut rng = SplitMix64::new(11);
+        let parts = greedy_graph_growing(&g, &t, 4, &mut rng);
+        let w0 = parts.iter().filter(|&&p| p == 0).count() as u64;
+        assert!(w0 <= t.cap0 && 64 - w0 <= t.cap1, "w0 = {w0}");
+    }
+
+    #[test]
+    fn ggg_cut_is_near_optimal_on_grid() {
+        // 8×8 grid: optimal bisection cut is 8 (a straight line).
+        let g = grid(8, 8);
+        let t = BisectTargets::with_ub(32, 32, 1.03, 1);
+        let mut rng = SplitMix64::new(7);
+        let parts = greedy_graph_growing(&g, &t, 8, &mut rng);
+        let cut = cut_weight_2way(&g, &parts);
+        assert!(cut <= 12, "cut = {cut}");
+    }
+
+    #[test]
+    fn ggg_handles_disconnected_graphs() {
+        // Two disjoint edges.
+        let g = CsrGraph::from_lists(&[
+            vec![(1, 1)],
+            vec![(0, 1)],
+            vec![(3, 1)],
+            vec![(2, 1)],
+        ])
+        .unwrap();
+        let t = BisectTargets::with_ub(2, 2, 1.03, 1);
+        let mut rng = SplitMix64::new(1);
+        let parts = greedy_graph_growing(&g, &t, 2, &mut rng);
+        let w0 = parts.iter().filter(|&&p| p == 0).count();
+        assert_eq!(w0, 2);
+    }
+
+    #[test]
+    fn ggg_asymmetric_target() {
+        let g = grid(6, 6);
+        // 1/3 vs 2/3 split.
+        let t = BisectTargets::with_ub(12, 24, 1.03, 1);
+        let mut rng = SplitMix64::new(5);
+        let parts = greedy_graph_growing(&g, &t, 4, &mut rng);
+        let w0 = parts.iter().filter(|&&p| p == 0).count() as u64;
+        assert!(w0 <= t.cap0, "w0 = {w0}");
+        assert!(36 - w0 <= t.cap1, "w1 = {}", 36 - w0);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::new(vec![0, 0], vec![], vec![], vec![1]).unwrap();
+        let t = BisectTargets::with_ub(1, 0, 1.03, 1);
+        let mut rng = SplitMix64::new(2);
+        let parts = greedy_graph_growing(&g, &t, 1, &mut rng);
+        assert_eq!(parts.len(), 1);
+    }
+}

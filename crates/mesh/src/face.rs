@@ -1,0 +1,253 @@
+//! The six cube faces and their exact integer frames.
+//!
+//! All topology in this crate is computed from *exact integer geometry*:
+//! the cube is `[-Ne, Ne]³`, so a face with `Ne × Ne` elements has element
+//! corners at integer parameters `a, b ∈ {-Ne, -Ne+2, …, Ne}`. Points
+//! shared between faces (along cube edges and at cube vertices) then have
+//! identical integer coordinates, and adjacency can be decided by exact
+//! equality — no floating-point tolerance anywhere in the mesh build.
+
+use std::fmt;
+
+/// Identifier of one of the six cube faces.
+///
+/// Faces 0–3 form the equatorial ring (+x, +y, −x, −y normals); face 4 is
+/// the north (+z) face and face 5 the south (−z) face.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FaceId(pub u8);
+
+impl FaceId {
+    /// All six faces in id order.
+    pub const ALL: [FaceId; 6] = [
+        FaceId(0),
+        FaceId(1),
+        FaceId(2),
+        FaceId(3),
+        FaceId(4),
+        FaceId(5),
+    ];
+
+    /// Face index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// An exact integer 3-vector (coordinates on the `[-Ne, Ne]³` cube).
+pub type IVec3 = [i64; 3];
+
+/// The frame of a face: `point(a, b) = origin + a·u + b·v`, with `u × v`
+/// equal to the outward normal (right-handed frames).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaceFrame {
+    /// Center of the face on the cube of half-width `ne` (`origin = ne·normal`).
+    pub origin: IVec3,
+    /// First tangent axis (unit integer vector).
+    pub u: IVec3,
+    /// Second tangent axis (unit integer vector).
+    pub v: IVec3,
+}
+
+impl FaceFrame {
+    /// The frame of `face` on the cube `[-ne, ne]³`.
+    pub fn of(face: FaceId, ne: i64) -> FaceFrame {
+        let (origin, u, v): (IVec3, IVec3, IVec3) = match face.0 {
+            // Equatorial ring: +x, +y, -x, -y.
+            0 => ([ne, 0, 0], [0, 1, 0], [0, 0, 1]),
+            1 => ([0, ne, 0], [-1, 0, 0], [0, 0, 1]),
+            2 => ([-ne, 0, 0], [0, -1, 0], [0, 0, 1]),
+            3 => ([0, -ne, 0], [1, 0, 0], [0, 0, 1]),
+            // North and south.
+            4 => ([0, 0, ne], [1, 0, 0], [0, 1, 0]),
+            5 => ([0, 0, -ne], [0, 1, 0], [1, 0, 0]),
+            _ => panic!("invalid face id {face}"),
+        };
+        FaceFrame { origin, u, v }
+    }
+
+    /// The exact cube-surface point at face parameters `(a, b)`,
+    /// `a, b ∈ [-ne, ne]`.
+    #[inline]
+    pub fn point(&self, a: i64, b: i64) -> IVec3 {
+        [
+            self.origin[0] + a * self.u[0] + b * self.v[0],
+            self.origin[1] + a * self.u[1] + b * self.v[1],
+            self.origin[2] + a * self.u[2] + b * self.v[2],
+        ]
+    }
+
+    /// Outward normal (`u × v`).
+    pub fn normal(&self) -> IVec3 {
+        cross(self.u, self.v)
+    }
+}
+
+/// Integer cross product.
+pub fn cross(a: IVec3, b: IVec3) -> IVec3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// The exact integer corner point of cell `(i, j)`'s corner `(ci, cj)`
+/// (`ci, cj ∈ {0, 1}`) on `face` of an `ne × ne` face grid.
+///
+/// Cell `(i, j)` spans parameters `[-ne + 2i, -ne + 2i + 2] ×
+/// [-ne + 2j, -ne + 2j + 2]`.
+#[inline]
+pub fn cell_corner_point(face: FaceId, ne: i64, i: i64, j: i64, ci: i64, cj: i64) -> IVec3 {
+    let frame = FaceFrame::of(face, ne);
+    frame.point(-ne + 2 * (i + ci), -ne + 2 * (j + cj))
+}
+
+/// The four cube-vertex points of a face, at local corners
+/// `(lo,lo), (hi,lo), (lo,hi), (hi,hi)` in that order.
+pub fn face_cube_vertices(face: FaceId, ne: i64) -> [IVec3; 4] {
+    let f = FaceFrame::of(face, ne);
+    [
+        f.point(-ne, -ne),
+        f.point(ne, -ne),
+        f.point(-ne, ne),
+        f.point(ne, ne),
+    ]
+}
+
+/// Whether two faces are adjacent (share a cube edge): true for every pair
+/// except opposite faces.
+pub fn faces_adjacent(a: FaceId, b: FaceId) -> bool {
+    if a == b {
+        return false;
+    }
+    shared_cube_vertices(a, b, 1).len() == 2
+}
+
+/// Cube vertices shared between two faces (0 for opposite faces, 2 for
+/// adjacent ones), computed on a cube of half-width `ne`.
+pub fn shared_cube_vertices(a: FaceId, b: FaceId, ne: i64) -> Vec<IVec3> {
+    let va = face_cube_vertices(a, ne);
+    let vb = face_cube_vertices(b, ne);
+    va.iter()
+        .filter(|p| vb.contains(p))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_right_handed() {
+        for face in FaceId::ALL {
+            let f = FaceFrame::of(face, 4);
+            let n = f.normal();
+            // The normal must point outward: same direction as the origin.
+            let dot: i64 = (0..3).map(|k| n[k] * f.origin[k]).sum();
+            assert!(dot > 0, "face {face} normal not outward");
+        }
+    }
+
+    #[test]
+    fn face_points_lie_on_their_plane() {
+        let ne = 8;
+        for face in FaceId::ALL {
+            let f = FaceFrame::of(face, ne);
+            let n = f.normal();
+            for (a, b) in [(-ne, -ne), (0, 3), (ne, ne), (-1, 7)] {
+                let p = f.point(a, b);
+                // The normal component equals ±ne exactly.
+                let proj: i64 = (0..3).map(|k| p[k] * n[k]).sum();
+                assert_eq!(proj, ne, "face {face} point ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_faces_share_nothing() {
+        assert!(!faces_adjacent(FaceId(0), FaceId(2)));
+        assert!(!faces_adjacent(FaceId(1), FaceId(3)));
+        assert!(!faces_adjacent(FaceId(4), FaceId(5)));
+    }
+
+    #[test]
+    fn each_face_has_four_neighbours() {
+        for a in FaceId::ALL {
+            let n = FaceId::ALL
+                .iter()
+                .filter(|b| faces_adjacent(a, **b))
+                .count();
+            assert_eq!(n, 4, "face {a}");
+        }
+    }
+
+    #[test]
+    fn adjacent_faces_share_exactly_two_vertices() {
+        for a in FaceId::ALL {
+            for b in FaceId::ALL {
+                let shared = shared_cube_vertices(a, b, 3).len();
+                if a == b {
+                    assert_eq!(shared, 4);
+                } else if faces_adjacent(a, b) {
+                    assert_eq!(shared, 2, "{a} vs {b}");
+                } else {
+                    assert_eq!(shared, 0, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_eight_cube_vertices_appear_thrice() {
+        use std::collections::HashMap;
+        let mut count: HashMap<IVec3, usize> = HashMap::new();
+        for face in FaceId::ALL {
+            for v in face_cube_vertices(face, 2) {
+                *count.entry(v).or_default() += 1;
+            }
+        }
+        assert_eq!(count.len(), 8);
+        assert!(count.values().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn corner_points_are_shared_along_cube_edges() {
+        // Cell (Ne-1, 0) of face 0's high-i edge touches face 1; its
+        // high-i corner points must appear among face 1's corner points.
+        let ne = 4;
+        let p = cell_corner_point(FaceId(0), ne, ne - 1, 0, 1, 0);
+        let mut found = false;
+        for i in 0..ne {
+            for j in 0..ne {
+                for ci in 0..2 {
+                    for cj in 0..2 {
+                        if cell_corner_point(FaceId(1), ne, i, j, ci, cj) == p {
+                            found = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found, "cube-edge point not shared with adjacent face");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid face id")]
+    fn invalid_face_id_panics() {
+        FaceFrame::of(FaceId(6), 2);
+    }
+
+    #[test]
+    fn cross_product_basics() {
+        assert_eq!(cross([1, 0, 0], [0, 1, 0]), [0, 0, 1]);
+        assert_eq!(cross([0, 1, 0], [1, 0, 0]), [0, 0, -1]);
+    }
+}

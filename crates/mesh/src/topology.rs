@@ -1,0 +1,430 @@
+//! Element adjacency on the cubed-sphere.
+//!
+//! "Communication between processors is determined by neighboring elements
+//! that share a boundary or corner point" (paper §1). This module computes
+//! both neighbour kinds exactly, including the awkward cases across cube
+//! edges and at the eight cube vertices (where only three elements meet).
+//!
+//! The build works on exact integer corner points (see [`crate::face`]):
+//! two elements are *edge neighbours* iff they share two corner points and
+//! *corner neighbours* iff they share exactly one.
+
+use crate::face::{cell_corner_point, FaceId, IVec3};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Identifier of a spectral element: `eid = face·Ne² + j·Ne + i`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ElemId(pub u32);
+
+impl ElemId {
+    /// Element index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One of the four local edges of an element, named by which side of the
+/// `(i, j)` index square it bounds.
+///
+/// Each edge has a canonical orientation (endpoint 0 → endpoint 1) in
+/// increasing local parameter:
+/// South `(0,0)→(1,0)`, East `(1,0)→(1,1)`, North `(0,1)→(1,1)`,
+/// West `(0,0)→(0,1)` (in cell-corner coordinates).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LocalEdge {
+    /// `j`-low side.
+    South = 0,
+    /// `i`-high side.
+    East = 1,
+    /// `j`-high side.
+    North = 2,
+    /// `i`-low side.
+    West = 3,
+}
+
+impl LocalEdge {
+    /// All four edges, in discriminant order.
+    pub const ALL: [LocalEdge; 4] = [
+        LocalEdge::South,
+        LocalEdge::East,
+        LocalEdge::North,
+        LocalEdge::West,
+    ];
+
+    /// Edge index (0–3).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The ordered cell-corner offsets `((ci0, cj0), (ci1, cj1))` of the
+    /// edge's two endpoints.
+    #[inline]
+    pub fn endpoints(self) -> ((i64, i64), (i64, i64)) {
+        match self {
+            LocalEdge::South => ((0, 0), (1, 0)),
+            LocalEdge::East => ((1, 0), (1, 1)),
+            LocalEdge::North => ((0, 1), (1, 1)),
+            LocalEdge::West => ((0, 0), (0, 1)),
+        }
+    }
+}
+
+/// An element's neighbour across one of its local edges.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeNeighbor {
+    /// The neighbouring element.
+    pub elem: ElemId,
+    /// Which of the neighbour's local edges coincides with ours.
+    pub edge: LocalEdge,
+    /// `true` if the shared edge runs in *opposite* canonical orientations
+    /// on the two elements (our endpoint 0 touches their endpoint 1).
+    /// Data exchanged along the edge must then be reversed — this is the
+    /// orientation bookkeeping the spectral element DSS needs across cube
+    /// edges.
+    pub reversed: bool,
+}
+
+/// Full adjacency of the `K = 6·Ne²` cubed-sphere elements.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    ne: usize,
+    /// Per element, per local edge: the neighbour across that edge.
+    edge_neighbors: Vec<[EdgeNeighbor; 4]>,
+    /// Per element: elements sharing exactly one corner point
+    /// (3 or 4 of them; fewer in tiny degenerate meshes).
+    corner_neighbors: Vec<Vec<ElemId>>,
+}
+
+impl Topology {
+    /// Build the topology for face size `ne` (`ne ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ne == 0`.
+    pub fn build(ne: usize) -> Topology {
+        assert!(ne >= 1, "Ne must be at least 1");
+        let nel = 6 * ne * ne;
+        let ne_i = ne as i64;
+
+        // Map every corner point to the elements touching it.
+        let mut at_point: FxHashMap<IVec3, Vec<ElemId>> = FxHashMap::default();
+        at_point.reserve(nel * 2);
+        for eid in 0..nel {
+            let (face, i, j) = split_eid(ne, ElemId(eid as u32));
+            for cj in 0..2 {
+                for ci in 0..2 {
+                    let p = cell_corner_point(face, ne_i, i as i64, j as i64, ci, cj);
+                    at_point.entry(p).or_default().push(ElemId(eid as u32));
+                }
+            }
+        }
+
+        // Count shared points per element pair.
+        let mut shared: FxHashMap<(ElemId, ElemId), u8> = FxHashMap::default();
+        for elems in at_point.values() {
+            for (x, &a) in elems.iter().enumerate() {
+                for &b in &elems[x + 1..] {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *shared.entry(key).or_default() += 1;
+                }
+            }
+        }
+
+        let placeholder = EdgeNeighbor {
+            elem: ElemId(u32::MAX),
+            edge: LocalEdge::South,
+            reversed: false,
+        };
+        let mut edge_neighbors = vec![[placeholder; 4]; nel];
+        let mut corner_neighbors: Vec<Vec<ElemId>> = vec![Vec::new(); nel];
+
+        for (&(a, b), &count) in &shared {
+            match count {
+                1 => {
+                    corner_neighbors[a.index()].push(b);
+                    corner_neighbors[b.index()].push(a);
+                }
+                2 => {
+                    let (ea, eb, reversed) = match_edges(ne, a, b);
+                    edge_neighbors[a.index()][ea.index()] = EdgeNeighbor {
+                        elem: b,
+                        edge: eb,
+                        reversed,
+                    };
+                    edge_neighbors[b.index()][eb.index()] = EdgeNeighbor {
+                        elem: a,
+                        edge: ea,
+                        reversed,
+                    };
+                }
+                n => panic!("elements {a} and {b} share {n} corner points"),
+            }
+        }
+
+        for list in &mut corner_neighbors {
+            list.sort_unstable();
+        }
+
+        // Every element must have found all four edge neighbours.
+        for (e, nbrs) in edge_neighbors.iter().enumerate() {
+            for nb in nbrs {
+                assert_ne!(
+                    nb.elem,
+                    ElemId(u32::MAX),
+                    "element e{e} missing an edge neighbour"
+                );
+            }
+        }
+
+        Topology {
+            ne,
+            edge_neighbors,
+            corner_neighbors,
+        }
+    }
+
+    /// Face size.
+    #[inline]
+    pub fn ne(&self) -> usize {
+        self.ne
+    }
+
+    /// Total number of elements, `K = 6·Ne²`.
+    #[inline]
+    pub fn num_elems(&self) -> usize {
+        self.edge_neighbors.len()
+    }
+
+    /// The neighbour across `edge` of `elem`.
+    #[inline]
+    pub fn edge_neighbor(&self, elem: ElemId, edge: LocalEdge) -> EdgeNeighbor {
+        self.edge_neighbors[elem.index()][edge.index()]
+    }
+
+    /// All four edge neighbours of `elem`, indexed by [`LocalEdge`].
+    #[inline]
+    pub fn edge_neighbors(&self, elem: ElemId) -> &[EdgeNeighbor; 4] {
+        &self.edge_neighbors[elem.index()]
+    }
+
+    /// The corner-only neighbours of `elem` (sorted).
+    #[inline]
+    pub fn corner_neighbors(&self, elem: ElemId) -> &[ElemId] {
+        &self.corner_neighbors[elem.index()]
+    }
+
+    /// Whether two elements are edge-adjacent.
+    pub fn are_edge_adjacent(&self, a: ElemId, b: ElemId) -> bool {
+        self.edge_neighbors[a.index()].iter().any(|n| n.elem == b)
+    }
+
+    /// Whether two elements share at least a corner point.
+    pub fn are_adjacent(&self, a: ElemId, b: ElemId) -> bool {
+        self.are_edge_adjacent(a, b) || self.corner_neighbors[a.index()].contains(&b)
+    }
+
+    /// Iterate over all elements.
+    pub fn elems(&self) -> impl Iterator<Item = ElemId> {
+        (0..self.num_elems() as u32).map(ElemId)
+    }
+}
+
+/// Compose an element id from `(face, i, j)`.
+#[inline]
+pub fn make_eid(ne: usize, face: FaceId, i: usize, j: usize) -> ElemId {
+    debug_assert!(i < ne && j < ne);
+    ElemId((face.index() * ne * ne + j * ne + i) as u32)
+}
+
+/// Split an element id into `(face, i, j)`.
+#[inline]
+pub fn split_eid(ne: usize, eid: ElemId) -> (FaceId, usize, usize) {
+    let e = eid.index();
+    let per_face = ne * ne;
+    let face = FaceId((e / per_face) as u8);
+    let r = e % per_face;
+    (face, r % ne, r / ne)
+}
+
+/// Identify which local edges of two edge-adjacent elements coincide, and
+/// whether their canonical orientations disagree.
+fn match_edges(ne: usize, a: ElemId, b: ElemId) -> (LocalEdge, LocalEdge, bool) {
+    let ne_i = ne as i64;
+    let pts = |e: ElemId, le: LocalEdge| -> (IVec3, IVec3) {
+        let (face, i, j) = split_eid(ne, e);
+        let ((c0i, c0j), (c1i, c1j)) = le.endpoints();
+        (
+            cell_corner_point(face, ne_i, i as i64, j as i64, c0i, c0j),
+            cell_corner_point(face, ne_i, i as i64, j as i64, c1i, c1j),
+        )
+    };
+    for ea in LocalEdge::ALL {
+        let (a0, a1) = pts(a, ea);
+        for eb in LocalEdge::ALL {
+            let (b0, b1) = pts(b, eb);
+            if a0 == b0 && a1 == b1 {
+                return (ea, eb, false);
+            }
+            if a0 == b1 && a1 == b0 {
+                return (ea, eb, true);
+            }
+        }
+    }
+    panic!("elements {a} and {b} share two points but no common edge");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eid_roundtrip() {
+        let ne = 5;
+        for face in FaceId::ALL {
+            for j in 0..ne {
+                for i in 0..ne {
+                    let e = make_eid(ne, face, i, j);
+                    assert_eq!(split_eid(ne, e), (face, i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_element_has_four_edge_neighbors() {
+        for ne in [1, 2, 3, 4] {
+            let t = Topology::build(ne);
+            assert_eq!(t.num_elems(), 6 * ne * ne);
+            for e in t.elems() {
+                let nbrs = t.edge_neighbors(e);
+                // All distinct and none equal to self.
+                for (x, nx) in nbrs.iter().enumerate() {
+                    assert_ne!(nx.elem, e);
+                    for ny in &nbrs[x + 1..] {
+                        assert_ne!(nx.elem, ny.elem, "ne={ne} elem {e}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_adjacency_is_symmetric_and_consistent() {
+        let ne = 3;
+        let t = Topology::build(ne);
+        for e in t.elems() {
+            for le in LocalEdge::ALL {
+                let nb = t.edge_neighbor(e, le);
+                let back = t.edge_neighbor(nb.elem, nb.edge);
+                assert_eq!(back.elem, e);
+                assert_eq!(back.edge, le);
+                assert_eq!(back.reversed, nb.reversed);
+            }
+        }
+    }
+
+    #[test]
+    fn corner_neighbor_counts() {
+        // For Ne >= 2 every element has 3 or 4 corner neighbours:
+        // 4 in general, 3 for elements touching a cube vertex (only three
+        // elements meet there and the other two are already edge-adjacent).
+        for ne in [2usize, 3, 4] {
+            let t = Topology::build(ne);
+            let mut threes = 0;
+            for e in t.elems() {
+                let c = t.corner_neighbors(e).len();
+                assert!(c == 3 || c == 4, "ne={ne} elem {e} has {c}");
+                if c == 3 {
+                    threes += 1;
+                }
+            }
+            // Exactly the 8 cube vertices × 3 touching elements each.
+            assert_eq!(threes, 24, "ne={ne}");
+        }
+    }
+
+    #[test]
+    fn ne1_has_no_corner_neighbors() {
+        // With one element per face, every pair of adjacent faces already
+        // shares a whole edge, and opposite faces share nothing.
+        let t = Topology::build(1);
+        for e in t.elems() {
+            assert!(t.corner_neighbors(e).is_empty());
+        }
+    }
+
+    #[test]
+    fn corner_adjacency_is_symmetric() {
+        let t = Topology::build(4);
+        for e in t.elems() {
+            for &c in t.corner_neighbors(e) {
+                assert!(t.corner_neighbors(c).contains(&e));
+                assert!(!t.are_edge_adjacent(e, c));
+            }
+        }
+    }
+
+    #[test]
+    fn interior_neighbors_have_matching_orientation() {
+        // Two horizontally adjacent interior cells of the same face share
+        // the East/West edge pair with no reversal.
+        let ne = 4;
+        let t = Topology::build(ne);
+        let a = make_eid(ne, FaceId(0), 1, 1);
+        let nb = t.edge_neighbor(a, LocalEdge::East);
+        assert_eq!(nb.elem, make_eid(ne, FaceId(0), 2, 1));
+        assert_eq!(nb.edge, LocalEdge::West);
+        assert!(!nb.reversed);
+    }
+
+    #[test]
+    fn some_cube_edges_reverse_orientation() {
+        // Crossing between certain face pairs flips the parameter
+        // direction; at least one of the 12 cube edges must do so.
+        let ne = 2;
+        let t = Topology::build(ne);
+        let mut any_reversed = false;
+        for e in t.elems() {
+            for le in LocalEdge::ALL {
+                if t.edge_neighbor(e, le).reversed {
+                    any_reversed = true;
+                }
+            }
+        }
+        assert!(any_reversed);
+    }
+
+    #[test]
+    fn total_adjacency_counts() {
+        // 2·K distinct edge-adjacent pairs (each element has 4, each pair
+        // counted twice).
+        let ne = 3;
+        let t = Topology::build(ne);
+        let k = t.num_elems();
+        let edge_pairs: usize = t.elems().map(|_| 4).sum::<usize>() / 2;
+        assert_eq!(edge_pairs, 2 * k);
+        let corner_pairs: usize =
+            t.elems().map(|e| t.corner_neighbors(e).len()).sum::<usize>() / 2;
+        // Interior corner points: each face has (ne-1)² interior nodes with
+        // 2 diagonal pairs each; cube-edge (non-vertex) points contribute 2
+        // diagonal pairs each; cube vertices none.
+        let interior = 6 * (ne - 1) * (ne - 1) * 2;
+        let cube_edges = 12 * (ne - 1) * 2;
+        assert_eq!(corner_pairs, interior + cube_edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "Ne must be")]
+    fn ne0_rejected() {
+        Topology::build(0);
+    }
+}

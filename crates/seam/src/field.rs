@@ -1,0 +1,100 @@
+//! Nodal fields on spectral elements.
+
+/// A scalar field stored per element at `n × n` GLL nodes × `nlev`
+/// vertical levels.
+///
+/// Layout per element: `idx = (lev * n + b) * n + a` — level-major so the
+/// horizontal kernels stream contiguous `n × n` slabs per level, matching
+/// SEAM's level-loop structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Field {
+    /// GLL points per direction.
+    pub n: usize,
+    /// Vertical levels.
+    pub nlev: usize,
+    /// Per-element nodal data (outer index = position in the owning
+    /// container, which may be a global element id or a rank-local slot).
+    pub data: Vec<Vec<f64>>,
+}
+
+impl Field {
+    /// An all-zero field over `nelems` elements.
+    pub fn zeros(nelems: usize, n: usize, nlev: usize) -> Field {
+        Field {
+            n,
+            nlev,
+            data: vec![vec![0.0; n * n * nlev]; nelems],
+        }
+    }
+
+    /// Values per element (`n² × nlev`).
+    #[inline]
+    pub fn elem_len(&self) -> usize {
+        self.n * self.n * self.nlev
+    }
+
+    /// Flat index of `(a, b, lev)`.
+    #[inline]
+    pub fn idx(&self, a: usize, b: usize, lev: usize) -> usize {
+        (lev * self.n + b) * self.n + a
+    }
+
+    /// Maximum absolute difference to another field of the same shape.
+    pub fn max_abs_diff(&self, other: &Field) -> f64 {
+        assert_eq!(self.data.len(), other.data.len(), "field shape mismatch");
+        let mut m: f64 = 0.0;
+        for (x, y) in self.data.iter().zip(&other.data) {
+            for (a, b) in x.iter().zip(y) {
+                m = m.max((a - b).abs());
+            }
+        }
+        m
+    }
+
+    /// Maximum absolute value.
+    pub fn max_abs(&self) -> f64 {
+        self.data
+            .iter()
+            .flat_map(|e| e.iter())
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let f = Field::zeros(3, 4, 2);
+        assert_eq!(f.data.len(), 3);
+        assert_eq!(f.elem_len(), 32);
+        assert_eq!(f.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn index_layout_is_level_major() {
+        let f = Field::zeros(1, 4, 2);
+        assert_eq!(f.idx(0, 0, 0), 0);
+        assert_eq!(f.idx(1, 0, 0), 1);
+        assert_eq!(f.idx(0, 1, 0), 4);
+        assert_eq!(f.idx(0, 0, 1), 16);
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let a = Field::zeros(2, 3, 1);
+        let mut b = a.clone();
+        b.data[1][5] = 0.25;
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert_eq!(b.max_abs(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn diff_requires_same_shape() {
+        let a = Field::zeros(2, 3, 1);
+        let b = Field::zeros(3, 3, 1);
+        a.max_abs_diff(&b);
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-element gnomonic metric terms on the unit sphere.
+//!
+//! Each element of face `f` is a `(r, s) ∈ [-1, 1]²` reference square
+//! mapped through face parameters onto the sphere:
+//! `p(r, s) = normalize(c + x1·U + x2·V)` with `x1 = c1 + r·h`,
+//! `x2 = c2 + s·h`, `h = 1/Ne`. The solver needs, at every GLL node:
+//!
+//! * the area Jacobian `J` (w.r.t. `(r, s)`),
+//! * the contravariant components `(u^r, u^s)` of the advecting wind.
+//!
+//! The wind is a solid-body rotation `v = ω × p` — the standard test
+//! flow for transport schemes on the sphere (divergence-free, with an
+//! exact analytic solution: rotation of the initial condition).
+
+use crate::gll::GllBasis;
+use cubesfc_mesh::{split_eid, ElemId, FaceFrame, FaceId, Mapping};
+
+/// 3-vector helpers.
+#[inline]
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+#[inline]
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+#[inline]
+fn scale(a: [f64; 3], k: f64) -> [f64; 3] {
+    [a[0] * k, a[1] * k, a[2] * k]
+}
+
+#[inline]
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+/// Geometry of one element evaluated at its `n × n` GLL nodes.
+#[derive(Clone, Debug)]
+pub struct ElemGeometry {
+    /// Points per direction.
+    pub n: usize,
+    /// Sphere position at each node, row-major `(b, a)` (i.e. `s` outer).
+    pub pos: Vec<[f64; 3]>,
+    /// Area Jacobian w.r.t. `(r, s)` at each node.
+    pub jac: Vec<f64>,
+    /// Contravariant wind `u^r` at each node.
+    pub ur: Vec<f64>,
+    /// Contravariant wind `u^s` at each node.
+    pub us: Vec<f64>,
+    /// Mass weight `J · w_a · w_b` at each node.
+    pub mass: Vec<f64>,
+    /// Covariant basis vector `e_r = ∂p/∂r` (3-D, tangent) at each node.
+    pub er: Vec<[f64; 3]>,
+    /// Covariant basis vector `e_s = ∂p/∂s` at each node.
+    pub es: Vec<[f64; 3]>,
+    /// Dual (contravariant) basis vector `e^r` at each node:
+    /// `e^r · e_r = 1`, `e^r · e_s = 0`.
+    pub erd: Vec<[f64; 3]>,
+    /// Dual basis vector `e^s` at each node.
+    pub esd: Vec<[f64; 3]>,
+}
+
+/// The unit-cube frame of a face (half-width 1).
+fn unit_frame(face: FaceId) -> ([f64; 3], [f64; 3], [f64; 3]) {
+    let f = FaceFrame::of(face, 1);
+    let tf = |v: cubesfc_mesh::IVec3| [v[0] as f64, v[1] as f64, v[2] as f64];
+    (tf(f.origin), tf(f.u), tf(f.v))
+}
+
+/// Evaluate the geometry of element `eid` on the `ne`-subdivided sphere
+/// for wind `ω` (rotation axis scaled by angular speed, radians/unit time),
+/// under the default (equidistant gnomonic) mapping — the paper's SEAM.
+pub fn elem_geometry(ne: usize, eid: ElemId, basis: &GllBasis, omega: [f64; 3]) -> ElemGeometry {
+    elem_geometry_mapped(ne, eid, basis, omega, Mapping::Equidistant)
+}
+
+/// [`elem_geometry`] under an explicit cube→sphere [`Mapping`].
+///
+/// The element covers normalized face coordinates
+/// `ξ ∈ [ξ0, ξ0 + 2h]` with `h = 1/Ne`; the mapping warps these into
+/// cube-face coordinates `x = warp(ξ)`, so the chain rule scales the
+/// tangent vectors by `dx/dξ` — everything downstream (Jacobian, mass,
+/// contravariant wind, dual basis) follows unchanged.
+pub fn elem_geometry_mapped(
+    ne: usize,
+    eid: ElemId,
+    basis: &GllBasis,
+    omega: [f64; 3],
+    mapping: Mapping,
+) -> ElemGeometry {
+    let (face, i, j) = split_eid(ne, eid);
+    let (c, u3, v3) = unit_frame(face);
+    let h = 1.0 / ne as f64;
+    let c1 = -1.0 + (2 * i + 1) as f64 * h;
+    let c2 = -1.0 + (2 * j + 1) as f64 * h;
+
+    let n = basis.n;
+    let mut g = ElemGeometry {
+        n,
+        pos: Vec::with_capacity(n * n),
+        jac: Vec::with_capacity(n * n),
+        ur: Vec::with_capacity(n * n),
+        us: Vec::with_capacity(n * n),
+        mass: Vec::with_capacity(n * n),
+        er: Vec::with_capacity(n * n),
+        es: Vec::with_capacity(n * n),
+        erd: Vec::with_capacity(n * n),
+        esd: Vec::with_capacity(n * n),
+    };
+
+    for b in 0..n {
+        let s = basis.nodes[b];
+        for a in 0..n {
+            let r = basis.nodes[a];
+            // Normalized face coordinates, then the mapping warp.
+            let xi1 = c1 + r * h;
+            let xi2 = c2 + s * h;
+            let x1 = mapping.warp(xi1);
+            let x2 = mapping.warp(xi2);
+            let d1 = mapping.warp_deriv(xi1);
+            let d2 = mapping.warp_deriv(xi2);
+            let q = [
+                c[0] + x1 * u3[0] + x2 * v3[0],
+                c[1] + x1 * u3[1] + x2 * v3[1],
+                c[2] + x1 * u3[2] + x2 * v3[2],
+            ];
+            let qn = dot(q, q).sqrt();
+            let p = scale(q, 1.0 / qn);
+
+            // Tangent vectors of the face chart: d(normalize(q))/dx_i.
+            let e1 = scale(sub(u3, scale(p, dot(p, u3))), 1.0 / qn);
+            let e2 = scale(sub(v3, scale(p, dot(p, v3))), 1.0 / qn);
+            // Element reference coords: chain rule through the warp,
+            // then the h scaling of the per-element map.
+            let er = scale(e1, h * d1);
+            let es = scale(e2, h * d2);
+
+            let g_rr = dot(er, er);
+            let g_rs = dot(er, es);
+            let g_ss = dot(es, es);
+            let det = g_rr * g_ss - g_rs * g_rs;
+            let jac = det.sqrt();
+
+            // Wind: v = ω × p; covariant components then raise the index.
+            let v = cross(omega, p);
+            let cr = dot(er, v);
+            let cs = dot(es, v);
+            let ur = (g_ss * cr - g_rs * cs) / det;
+            let us = (g_rr * cs - g_rs * cr) / det;
+
+            // Dual basis: raise indices with the inverse metric.
+            let erd = [
+                (g_ss * er[0] - g_rs * es[0]) / det,
+                (g_ss * er[1] - g_rs * es[1]) / det,
+                (g_ss * er[2] - g_rs * es[2]) / det,
+            ];
+            let esd = [
+                (g_rr * es[0] - g_rs * er[0]) / det,
+                (g_rr * es[1] - g_rs * er[1]) / det,
+                (g_rr * es[2] - g_rs * er[2]) / det,
+            ];
+
+            g.pos.push(p);
+            g.jac.push(jac);
+            g.ur.push(ur);
+            g.us.push(us);
+            g.mass.push(jac * basis.weights[a] * basis.weights[b]);
+            g.er.push(er);
+            g.es.push(es);
+            g.erd.push(erd);
+            g.esd.push(esd);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesfc_mesh::make_eid;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn positions_are_unit_vectors() {
+        let basis = GllBasis::new(5);
+        let g = elem_geometry(4, make_eid(4, FaceId(2), 1, 3), &basis, [0.0, 0.0, 1.0]);
+        for p in &g.pos {
+            assert!((dot(*p, *p) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn mass_sums_to_sphere_area() {
+        // Σ over all elements of Σ mass = 4π.
+        let ne = 3;
+        let basis = GllBasis::new(6);
+        let mut total = 0.0;
+        for f in 0..6u8 {
+            for j in 0..ne {
+                for i in 0..ne {
+                    let g = elem_geometry(
+                        ne,
+                        make_eid(ne, FaceId(f), i, j),
+                        &basis,
+                        [0.0, 0.0, 1.0],
+                    );
+                    total += g.mass.iter().sum::<f64>();
+                }
+            }
+        }
+        // GLL quadrature of the curved metric is spectrally (not
+        // exactly) accurate: ~5e-7 absolute at n = 6.
+        assert!((total - 4.0 * PI).abs() < 1e-4, "total {total}");
+    }
+
+    #[test]
+    fn wind_is_tangent_and_matches_rotation_speed() {
+        // For ω = Ω ẑ the wind speed is Ω·cos(lat); reconstruct the 3-D
+        // wind from the contravariant components and compare.
+        let ne = 4;
+        let basis = GllBasis::new(4);
+        let omega = [0.0, 0.0, 2.0];
+        let g = elem_geometry(ne, make_eid(ne, FaceId(0), 2, 1), &basis, omega);
+        for (idx, p) in g.pos.iter().enumerate() {
+            let v = cross(omega, *p);
+            // |v| = Ω cos(lat) with Ω = 2.
+            let coslat = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((dot(v, v).sqrt() - 2.0 * coslat).abs() < 1e-12);
+            // Tangency.
+            assert!(dot(v, *p).abs() < 1e-12, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn contravariant_components_reconstruct_wind() {
+        // u^r e_r + u^s e_s must equal the tangential wind exactly.
+        let ne = 2;
+        let basis = GllBasis::new(5);
+        let omega = [0.3, -1.1, 0.7];
+        let eid = make_eid(ne, FaceId(4), 1, 0);
+        let g = elem_geometry(ne, eid, &basis, omega);
+        // Recompute the tangent basis for checking.
+        let (face, i, j) = split_eid(ne, eid);
+        let (c, u3, v3) = unit_frame(face);
+        let h = 1.0 / ne as f64;
+        let c1 = -1.0 + (2 * i + 1) as f64 * h;
+        let c2 = -1.0 + (2 * j + 1) as f64 * h;
+        for b in 0..g.n {
+            for a in 0..g.n {
+                let idx = b * g.n + a;
+                let r = basis.nodes[a];
+                let s = basis.nodes[b];
+                let x1 = c1 + r * h;
+                let x2 = c2 + s * h;
+                let q = [
+                    c[0] + x1 * u3[0] + x2 * v3[0],
+                    c[1] + x1 * u3[1] + x2 * v3[1],
+                    c[2] + x1 * u3[2] + x2 * v3[2],
+                ];
+                let qn = dot(q, q).sqrt();
+                let p = scale(q, 1.0 / qn);
+                let e1 = scale(sub(u3, scale(p, dot(p, u3))), h / qn);
+                let e2 = scale(sub(v3, scale(p, dot(p, v3))), h / qn);
+                let v = cross(omega, p);
+                for k in 0..3 {
+                    let recon = g.ur[idx] * e1[k] + g.us[idx] * e2[k];
+                    assert!(
+                        (recon - v[k]).abs() < 1e-10,
+                        "node ({a},{b}) comp {k}: {recon} vs {}",
+                        v[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_basis_is_biorthogonal() {
+        let basis = GllBasis::new(5);
+        for f in 0..6u8 {
+            let g = elem_geometry(3, make_eid(3, FaceId(f), 1, 2), &basis, [0.1, 0.2, 0.3]);
+            for k in 0..g.n * g.n {
+                assert!((dot(g.erd[k], g.er[k]) - 1.0).abs() < 1e-12);
+                assert!((dot(g.esd[k], g.es[k]) - 1.0).abs() < 1e-12);
+                assert!(dot(g.erd[k], g.es[k]).abs() < 1e-12);
+                assert!(dot(g.esd[k], g.er[k]).abs() < 1e-12);
+                // Dual vectors are tangent to the sphere too.
+                assert!(dot(g.erd[k], g.pos[k]).abs() < 1e-12);
+                assert!(dot(g.esd[k], g.pos[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn contravariant_wind_matches_dual_basis_projection() {
+        // u^r = v · e^r: the two ways of computing contravariant
+        // components must agree.
+        let basis = GllBasis::new(4);
+        let omega = [0.4, -0.2, 0.9];
+        let g = elem_geometry(2, make_eid(2, FaceId(1), 0, 1), &basis, omega);
+        for k in 0..g.n * g.n {
+            let v = cross(omega, g.pos[k]);
+            assert!((dot(v, g.erd[k]) - g.ur[k]).abs() < 1e-11);
+            assert!((dot(v, g.esd[k]) - g.us[k]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn equiangular_mass_sums_to_sphere_area() {
+        let ne = 3;
+        let basis = GllBasis::new(6);
+        let mut total = 0.0;
+        for f in 0..6u8 {
+            for j in 0..ne {
+                for i in 0..ne {
+                    let g = elem_geometry_mapped(
+                        ne,
+                        make_eid(ne, FaceId(f), i, j),
+                        &basis,
+                        [0.0; 3],
+                        Mapping::Equiangular,
+                    );
+                    total += g.mass.iter().sum::<f64>();
+                }
+            }
+        }
+        assert!((total - 4.0 * PI).abs() < 1e-4, "total {total}");
+    }
+
+    #[test]
+    fn equiangular_masses_are_more_uniform() {
+        let ne = 4;
+        let basis = GllBasis::new(4);
+        let elem_mass = |m: Mapping, i: usize, j: usize| -> f64 {
+            elem_geometry_mapped(ne, make_eid(ne, FaceId(0), i, j), &basis, [0.0; 3], m)
+                .mass
+                .iter()
+                .sum()
+        };
+        // Corner vs centre element area ratio.
+        let ratio = |m: Mapping| elem_mass(m, 1, 1) / elem_mass(m, 0, 0);
+        assert!(ratio(Mapping::Equidistant) > ratio(Mapping::Equiangular));
+        assert!(ratio(Mapping::Equiangular) < 1.6);
+    }
+
+    #[test]
+    fn equiangular_dual_basis_still_biorthogonal() {
+        let basis = GllBasis::new(5);
+        let g = elem_geometry_mapped(
+            2,
+            make_eid(2, FaceId(3), 1, 0),
+            &basis,
+            [0.2, 0.1, -0.4],
+            Mapping::Equiangular,
+        );
+        for k in 0..g.n * g.n {
+            assert!((dot(g.erd[k], g.er[k]) - 1.0).abs() < 1e-12);
+            assert!(dot(g.erd[k], g.es[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobian_positive_everywhere() {
+        let basis = GllBasis::new(8);
+        for f in 0..6u8 {
+            let g = elem_geometry(2, make_eid(2, FaceId(f), 0, 1), &basis, [0.0; 3]);
+            assert!(g.jac.iter().all(|&j| j > 0.0));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Sampling element fields onto latitude–longitude grids.
+//!
+//! Climate models keep their state on the cubed-sphere but publish
+//! history on lat-lon grids; the sampling path is point location (which
+//! face, which element) followed by tensor-product Lagrange evaluation at
+//! the element's GLL nodes. Interpolation is exact for polynomials up to
+//! the basis degree — tested — so output adds no error beyond the solve.
+
+use crate::field::Field;
+use crate::gll::GllBasis;
+use cubesfc_mesh::{make_eid, ElemId, FaceFrame, FaceId};
+
+/// Locate the face containing sphere point `p` and its unit-cube face
+/// coordinates `(x1, x2) ∈ [-1, 1]²`.
+pub fn locate_face(p: [f64; 3]) -> (FaceId, f64, f64) {
+    // The face is the one whose outward normal has the largest positive
+    // projection; equivalently the dominant coordinate axis.
+    let abs = [p[0].abs(), p[1].abs(), p[2].abs()];
+    let axis = (0..3).max_by(|&a, &b| abs[a].total_cmp(&abs[b])).unwrap();
+    let face = match (axis, p[axis] >= 0.0) {
+        (0, true) => FaceId(0),
+        (0, false) => FaceId(2),
+        (1, true) => FaceId(1),
+        (1, false) => FaceId(3),
+        (2, true) => FaceId(4),
+        (2, false) => FaceId(5),
+        _ => unreachable!(),
+    };
+    // Scale so the normal component is exactly 1, then project on the
+    // face frame.
+    let f = FaceFrame::of(face, 1);
+    let n = [
+        f.origin[0] as f64,
+        f.origin[1] as f64,
+        f.origin[2] as f64,
+    ];
+    let dot_n = p[0] * n[0] + p[1] * n[1] + p[2] * n[2];
+    let q = [p[0] / dot_n, p[1] / dot_n, p[2] / dot_n];
+    let u = [f.u[0] as f64, f.u[1] as f64, f.u[2] as f64];
+    let v = [f.v[0] as f64, f.v[1] as f64, f.v[2] as f64];
+    let x1 = q[0] * u[0] + q[1] * u[1] + q[2] * u[2];
+    let x2 = q[0] * v[0] + q[1] * v[1] + q[2] * v[2];
+    (face, x1.clamp(-1.0, 1.0), x2.clamp(-1.0, 1.0))
+}
+
+/// Locate the element containing `p` on an `ne`-subdivided sphere and the
+/// reference coordinates `(r, s) ∈ [-1, 1]²` inside it.
+pub fn locate_element(ne: usize, p: [f64; 3]) -> (ElemId, f64, f64) {
+    let (face, x1, x2) = locate_face(p);
+    let h = 2.0 / ne as f64;
+    let fi = ((x1 + 1.0) / h).floor().clamp(0.0, (ne - 1) as f64);
+    let fj = ((x2 + 1.0) / h).floor().clamp(0.0, (ne - 1) as f64);
+    let i = fi as usize;
+    let j = fj as usize;
+    let r = (x1 - (-1.0 + fi * h)) / h * 2.0 - 1.0;
+    let s = (x2 - (-1.0 + fj * h)) / h * 2.0 - 1.0;
+    (make_eid(ne, face, i, j), r.clamp(-1.0, 1.0), s.clamp(-1.0, 1.0))
+}
+
+/// Lagrange basis values at `x` over the GLL nodes (barycentric form).
+fn lagrange_values(basis: &GllBasis, x: f64, out: &mut [f64]) {
+    let n = basis.n;
+    // Exact-node hit: avoid division by zero.
+    for (i, &xi) in basis.nodes.iter().enumerate() {
+        if (x - xi).abs() < 1e-14 {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            out[i] = 1.0;
+            return;
+        }
+    }
+    // Barycentric weights (recomputed — n is tiny and this is output-path
+    // code; hoist if it ever shows up in profiles).
+    let mut bw = vec![1.0f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                bw[i] *= basis.nodes[i] - basis.nodes[j];
+            }
+        }
+        bw[i] = 1.0 / bw[i];
+    }
+    let mut denom = 0.0;
+    for i in 0..n {
+        out[i] = bw[i] / (x - basis.nodes[i]);
+        denom += out[i];
+    }
+    for v in out.iter_mut() {
+        *v /= denom;
+    }
+}
+
+/// Evaluate `field` (level `lev`) at an arbitrary sphere point.
+pub fn sample_point(
+    ne: usize,
+    basis: &GllBasis,
+    field: &Field,
+    lev: usize,
+    p: [f64; 3],
+) -> f64 {
+    let (eid, r, s) = locate_element(ne, p);
+    let n = basis.n;
+    let mut lr = vec![0.0; n];
+    let mut ls = vec![0.0; n];
+    lagrange_values(basis, r, &mut lr);
+    lagrange_values(basis, s, &mut ls);
+    let npts = n * n;
+    let data = &field.data[eid.index()][lev * npts..(lev + 1) * npts];
+    let mut acc = 0.0;
+    for b in 0..n {
+        let mut row = 0.0;
+        for a in 0..n {
+            row += lr[a] * data[b * n + a];
+        }
+        acc += ls[b] * row;
+    }
+    acc
+}
+
+/// A regular lat-lon grid sampling of one level of a field:
+/// `nlat × nlon` values, latitude from south to north pole (inclusive),
+/// longitude from −π (inclusive) to π (exclusive).
+pub fn to_latlon(
+    ne: usize,
+    basis: &GllBasis,
+    field: &Field,
+    lev: usize,
+    nlat: usize,
+    nlon: usize,
+) -> Vec<Vec<f64>> {
+    assert!(nlat >= 2 && nlon >= 1, "degenerate grid");
+    let mut out = vec![vec![0.0; nlon]; nlat];
+    for (jj, row) in out.iter_mut().enumerate() {
+        let lat = -std::f64::consts::FRAC_PI_2
+            + std::f64::consts::PI * jj as f64 / (nlat - 1) as f64;
+        for (ii, val) in row.iter_mut().enumerate() {
+            let lon = -std::f64::consts::PI
+                + 2.0 * std::f64::consts::PI * ii as f64 / nlon as f64;
+            let p = [
+                lat.cos() * lon.cos(),
+                lat.cos() * lon.sin(),
+                lat.sin(),
+            ];
+            *val = sample_point(ne, basis, field, lev, p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::elem_geometry;
+    use cubesfc_mesh::Topology;
+
+    #[test]
+    fn locate_face_axis_points() {
+        assert_eq!(locate_face([1.0, 0.0, 0.0]).0, FaceId(0));
+        assert_eq!(locate_face([-1.0, 0.0, 0.0]).0, FaceId(2));
+        assert_eq!(locate_face([0.0, 1.0, 0.0]).0, FaceId(1));
+        assert_eq!(locate_face([0.0, -1.0, 0.0]).0, FaceId(3));
+        assert_eq!(locate_face([0.0, 0.0, 1.0]).0, FaceId(4));
+        assert_eq!(locate_face([0.0, 0.0, -1.0]).0, FaceId(5));
+    }
+
+    #[test]
+    fn locate_element_roundtrips_gll_nodes() {
+        // Every GLL node of every element must locate back to (a point
+        // inside) an element that evaluates to the same position.
+        let ne = 3;
+        let basis = GllBasis::new(4);
+        for f in 0..6u8 {
+            for j in 0..ne {
+                for i in 0..ne {
+                    let g = elem_geometry(ne, make_eid(ne, FaceId(f), i, j), &basis, [0.0; 3]);
+                    // Interior node (avoid the shared boundary ambiguity).
+                    let k = basis.n + 1; // (a, b) = (1, 1)
+                    let (eid, r, s) = locate_element(ne, g.pos[k]);
+                    assert_eq!(eid, make_eid(ne, FaceId(f), i, j));
+                    assert!((r - basis.nodes[1]).abs() < 1e-10);
+                    assert!((s - basis.nodes[1]).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_exact_for_constant_fields() {
+        let ne = 2;
+        let np = 4;
+        let topo = Topology::build(ne);
+        let basis = GllBasis::new(np);
+        let mut field = Field::zeros(topo.num_elems(), np, 1);
+        for e in field.data.iter_mut() {
+            e.iter_mut().for_each(|v| *v = 3.25);
+        }
+        for p in [
+            [1.0f64, 0.0, 0.0],
+            [0.3, -0.8, 0.52],
+            [0.0, 0.0, -1.0],
+            [0.57, 0.57, 0.59],
+        ] {
+            let n = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            let p = [p[0] / n, p[1] / n, p[2] / n];
+            let v = sample_point(ne, &basis, &field, 0, p);
+            assert!((v - 3.25).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    fn sampling_reproduces_smooth_functions() {
+        // A smooth function sampled onto the GLL nodes and interpolated
+        // back at off-node points: spectral accuracy.
+        let ne = 4;
+        let np = 8;
+        let topo = Topology::build(ne);
+        let basis = GllBasis::new(np);
+        let f = |p: [f64; 3]| (2.0 * p[0]).sin() * p[2] + p[1];
+        let mut field = Field::zeros(topo.num_elems(), np, 1);
+        for (e, data) in field.data.iter_mut().enumerate() {
+            let g = elem_geometry(ne, ElemId(e as u32), &basis, [0.0; 3]);
+            for k in 0..np * np {
+                data[k] = f(g.pos[k]);
+            }
+        }
+        for raw in [[0.23f64, 0.8, 0.1], [-0.4, 0.2, 0.88], [0.9, -0.1, -0.3]] {
+            let n = (raw[0] * raw[0] + raw[1] * raw[1] + raw[2] * raw[2]).sqrt();
+            let p = [raw[0] / n, raw[1] / n, raw[2] / n];
+            let v = sample_point(ne, &basis, &field, 0, p);
+            assert!((v - f(p)).abs() < 1e-6, "{} vs {}", v, f(p));
+        }
+    }
+
+    #[test]
+    fn latlon_grid_shape_and_poles() {
+        let ne = 2;
+        let np = 3;
+        let topo = Topology::build(ne);
+        let basis = GllBasis::new(np);
+        let mut field = Field::zeros(topo.num_elems(), np, 2);
+        // Level 1 = 7 everywhere.
+        let npts = np * np;
+        for e in field.data.iter_mut() {
+            for k in 0..npts {
+                e[npts + k] = 7.0;
+            }
+        }
+        let grid = to_latlon(ne, &basis, &field, 1, 5, 8);
+        assert_eq!(grid.len(), 5);
+        assert!(grid.iter().all(|r| r.len() == 8));
+        // Poles: all longitudes give the same value.
+        for row in [&grid[0], &grid[4]] {
+            for v in row.iter() {
+                assert!((v - row[0]).abs() < 1e-12);
+                assert!((v - 7.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_values_partition_of_unity() {
+        let basis = GllBasis::new(6);
+        let mut l = vec![0.0; 6];
+        for x in [-0.913, -0.5, 0.0, 0.3, 0.77, 1.0] {
+            lagrange_values(&basis, x, &mut l);
+            let s: f64 = l.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "x={x}");
+        }
+        // Exact node hit: the matching basis function is 1.
+        lagrange_values(&basis, basis.nodes[2], &mut l);
+        assert!((l[2] - 1.0).abs() < 1e-15);
+        assert!(l.iter().enumerate().all(|(i, &v)| i == 2 || v.abs() < 1e-15));
+    }
+}

@@ -1,0 +1,38 @@
+//! Property test: the parallel runner agrees with the serial solver for
+//! *arbitrary* (even adversarial) element-to-rank assignments.
+
+use cubesfc_graph::Partition;
+use cubesfc_mesh::Topology;
+use cubesfc_seam::solver::{gaussian_blob, AdvectionConfig, SerialSolver};
+use cubesfc_seam::vranks::run_parallel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_equals_serial_for_random_partitions(
+        seed in any::<u64>(),
+        nranks in 2usize..6,
+    ) {
+        let ne = 2;
+        let topo = Topology::build(ne);
+        let k = topo.num_elems();
+        // Random assignment; force every rank non-empty.
+        let mut rng = cubesfc_graph::SplitMix64::new(seed);
+        let mut assign: Vec<u32> = (0..k).map(|_| rng.below(nranks) as u32).collect();
+        for r in 0..nranks {
+            assign[r] = r as u32;
+        }
+        let part = Partition::new(nranks, assign);
+
+        let cfg = AdvectionConfig::stable_for(ne, 4, 1);
+        let ic = gaussian_blob([0.6, -0.64, 0.48], 0.6);
+        let mut serial = SerialSolver::new(&topo, cfg);
+        serial.set_initial(&ic);
+        serial.run(2);
+        let (par, _) = run_parallel(&topo, &part, cfg, 2, &ic);
+        let diff = serial.q.max_abs_diff(&par);
+        prop_assert!(diff < 1e-12, "random partition deviates by {diff}");
+    }
+}

@@ -1,0 +1,455 @@
+//! Curve generation and the [`SfcCurve`] container.
+//!
+//! Generation follows the paper's cursor formulation (Fig. 3): the
+//! recursion threads a `(major, joiner)` [`CurveState`] down to the leaves;
+//! a leaf records the cell under the cursor and advances the cursor one
+//! step along its own joiner vector. No explicit child geometry is needed —
+//! continuity of the curve is what carries the cursor through every cell of
+//! each sub-domain in turn.
+
+use crate::error::SfcError;
+use crate::schedule::Schedule;
+use crate::vector::CurveState;
+
+/// A generated space-filling curve over a `side × side` cell grid.
+///
+/// Stores both directions of the bijection: the visit order (`cell_at`)
+/// and its inverse (`rank_of`).
+///
+/// # Examples
+///
+/// ```
+/// use cubesfc_sfc::{Schedule, SfcCurve};
+///
+/// let curve = SfcCurve::generate(&Schedule::hilbert(2).unwrap());
+/// assert_eq!(curve.side(), 4);
+/// assert_eq!(curve.len(), 16);
+/// assert_eq!(curve.cell_at(0), (0, 0));      // enters at the origin
+/// assert_eq!(curve.cell_at(15), (3, 0));     // exits along +x (major vector)
+/// assert_eq!(curve.rank_of(3, 0), 15);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SfcCurve {
+    side: usize,
+    /// `order[rank] = j * side + i`: the linear cell index visited at `rank`.
+    order: Vec<u32>,
+    /// `rank[j * side + i]` = position of cell `(i, j)` along the curve.
+    rank: Vec<u32>,
+}
+
+impl SfcCurve {
+    /// Generate the curve described by `schedule`, starting in the
+    /// canonical orientation (entry at `(0, 0)`, major vector `+x`, so the
+    /// exit cell is `(side-1, 0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain exceeds `u32` addressable cells (side lengths
+    /// beyond 65 535 — far past any climate-model resolution).
+    pub fn generate(schedule: &Schedule) -> SfcCurve {
+        let side = schedule.side();
+        assert!(side <= u16::MAX as usize, "side {side} too large");
+        let ncells = side * side;
+        let mut gen = Generator {
+            schedule,
+            side: side as i64,
+            pos: (0, 0),
+            count: 0,
+            order: vec![u32::MAX; ncells],
+            rank: vec![u32::MAX; ncells],
+        };
+        gen.refine(0, CurveState::canonical());
+        debug_assert_eq!(gen.count as usize, ncells);
+        SfcCurve {
+            side,
+            order: gen.order,
+            rank: gen.rank,
+        }
+    }
+
+    /// Convenience: generate the curve for side length `p`, inferring the
+    /// schedule (`2^n·3^m` factorization, Peano levels first).
+    pub fn for_side(p: usize) -> Result<SfcCurve, SfcError> {
+        Ok(SfcCurve::generate(&Schedule::for_side(p)?))
+    }
+
+    /// Side length of the square domain.
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of cells on the curve (`side²`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the curve is empty (never true for generated curves).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The cell `(i, j)` visited at position `r` along the curve.
+    #[inline]
+    pub fn cell_at(&self, r: usize) -> (usize, usize) {
+        let lin = self.order[r] as usize;
+        (lin % self.side, lin / self.side)
+    }
+
+    /// The position along the curve at which cell `(i, j)` is visited.
+    #[inline]
+    pub fn rank_of(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.side && j < self.side);
+        self.rank[j * self.side + i] as usize
+    }
+
+    /// Iterate over cells in curve order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let side = self.side;
+        self.order.iter().map(move |&lin| {
+            let lin = lin as usize;
+            (lin % side, lin / side)
+        })
+    }
+
+    /// First cell visited.
+    pub fn entry(&self) -> (usize, usize) {
+        self.cell_at(0)
+    }
+
+    /// Last cell visited.
+    pub fn exit(&self) -> (usize, usize) {
+        self.cell_at(self.len() - 1)
+    }
+
+    /// Check that every cell is visited exactly once (bijectivity).
+    pub fn is_bijective(&self) -> bool {
+        self.rank.iter().all(|&r| r != u32::MAX)
+            && self.order.iter().all(|&c| c != u32::MAX)
+    }
+
+    /// Check that consecutive cells are 4-neighbours (unit-step, or "edge
+    /// continuous") — the property that makes curve segments spatially
+    /// compact partitions.
+    pub fn is_unit_step(&self) -> bool {
+        self.iter()
+            .zip(self.iter().skip(1))
+            .all(|((i0, j0), (i1, j1))| {
+                i0.abs_diff(i1) + j0.abs_diff(j1) == 1
+            })
+    }
+
+    /// Build a curve directly from a visit order (used by mesh-level code
+    /// and tests to wrap externally-constructed orders, e.g. Morton).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..side²`.
+    pub fn from_order(side: usize, order: Vec<u32>) -> SfcCurve {
+        let ncells = side * side;
+        assert_eq!(order.len(), ncells, "order length must be side²");
+        let mut rank = vec![u32::MAX; ncells];
+        for (r, &lin) in order.iter().enumerate() {
+            assert!((lin as usize) < ncells, "cell index out of range");
+            assert_eq!(rank[lin as usize], u32::MAX, "duplicate cell in order");
+            rank[lin as usize] = r as u32;
+        }
+        SfcCurve { side, order, rank }
+    }
+
+    /// The raw visit order (`order[rank] = j * side + i`).
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+struct Generator<'a> {
+    schedule: &'a Schedule,
+    side: i64,
+    pos: (i64, i64),
+    count: u32,
+    order: Vec<u32>,
+    rank: Vec<u32>,
+}
+
+impl Generator<'_> {
+    fn refine(&mut self, depth: usize, state: CurveState) {
+        if depth == self.schedule.depth() {
+            self.emit(state);
+            return;
+        }
+        let radix = self.schedule.radix_at(depth);
+        let mut children = [CurveState::canonical(); crate::refine::MAX_CHILDREN];
+        let n = radix.child_states(state, &mut children);
+        for child in &children[..n] {
+            self.refine(depth + 1, *child);
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, state: CurveState) {
+        let (i, j) = self.pos;
+        debug_assert!(
+            i >= 0 && i < self.side && j >= 0 && j < self.side,
+            "cursor left the domain at ({i}, {j})"
+        );
+        let lin = (j * self.side + i) as usize;
+        debug_assert_eq!(self.rank[lin], u32::MAX, "cell revisited at ({i}, {j})");
+        self.order[self.count as usize] = lin as u32;
+        self.rank[lin] = self.count;
+        self.count += 1;
+        self.pos = state.joiner.advance(self.pos);
+    }
+}
+
+/// Generate a pure Hilbert curve of `n` levels (`side = 2^n`).
+pub fn hilbert(n: usize) -> Result<SfcCurve, SfcError> {
+    Ok(SfcCurve::generate(&Schedule::hilbert(n)?))
+}
+
+/// Generate a pure meandering-Peano curve of `m` levels (`side = 3^m`).
+pub fn mpeano(m: usize) -> Result<SfcCurve, SfcError> {
+    Ok(SfcCurve::generate(&Schedule::mpeano(m)?))
+}
+
+/// Generate the nested Hilbert-Peano curve (`side = 2^n · 3^m`, Peano
+/// levels refined first, per the paper).
+pub fn hilbert_peano(n: usize, m: usize) -> Result<SfcCurve, SfcError> {
+    Ok(SfcCurve::generate(&Schedule::hilbert_peano(n, m)?))
+}
+
+/// Generate a pure radix-5 Cinco curve of `l` levels (`side = 5^l`) — the
+/// odd-radix extension beyond the paper.
+pub fn cinco(l: usize) -> Result<SfcCurve, SfcError> {
+    Ok(SfcCurve::generate(&Schedule::cinco(l)?))
+}
+
+/// Which primitive refinements a schedule uses — handy for labelling
+/// experiment output like the paper's Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CurveFamily {
+    /// Pure radix-2 schedule.
+    Hilbert,
+    /// Pure radix-3 schedule.
+    MPeano,
+    /// Mixed radix-2/3 schedule — the paper's nested curve.
+    HilbertPeano,
+    /// Pure radix-5 schedule (beyond the paper).
+    Cinco,
+    /// Any schedule involving radix 5 together with other radices.
+    Mixed,
+}
+
+impl CurveFamily {
+    /// Classify a schedule.
+    pub fn of(schedule: &Schedule) -> CurveFamily {
+        let h = schedule.hilbert_levels();
+        let m = schedule.mpeano_levels();
+        let c = schedule.cinco_levels();
+        match (h > 0, m > 0, c > 0) {
+            (_, false, false) => CurveFamily::Hilbert,
+            (false, true, false) => CurveFamily::MPeano,
+            (true, true, false) => CurveFamily::HilbertPeano,
+            (false, false, true) => CurveFamily::Cinco,
+            _ => CurveFamily::Mixed,
+        }
+    }
+}
+
+impl std::fmt::Display for CurveFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CurveFamily::Hilbert => write!(f, "Hilbert"),
+            CurveFamily::MPeano => write!(f, "m-Peano"),
+            CurveFamily::HilbertPeano => write!(f, "Hilbert-Peano"),
+            CurveFamily::Cinco => write!(f, "Cinco"),
+            CurveFamily::Mixed => write!(f, "mixed-radix"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::Radix;
+
+    #[test]
+    fn level1_hilbert_is_the_paper_u() {
+        // Fig. 2 panel (a): the level-1 U with major +x visits
+        // (0,0) (0,1) (1,1) (1,0).
+        let c = hilbert(1).unwrap();
+        let cells: Vec<_> = c.iter().collect();
+        assert_eq!(cells, vec![(0, 0), (0, 1), (1, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn level2_hilbert_matches_classic_order() {
+        let c = hilbert(2).unwrap();
+        let cells: Vec<_> = c.iter().collect();
+        let expected = vec![
+            (0, 0), (1, 0), (1, 1), (0, 1), // bottom-left quadrant
+            (0, 2), (0, 3), (1, 3), (1, 2), // top-left
+            (2, 2), (2, 3), (3, 3), (3, 2), // top-right
+            (3, 1), (2, 1), (2, 0), (3, 0), // bottom-right
+        ];
+        assert_eq!(cells, expected);
+    }
+
+    #[test]
+    fn level1_mpeano_is_the_meander() {
+        let c = mpeano(1).unwrap();
+        let cells: Vec<_> = c.iter().collect();
+        let expected = vec![
+            (0, 0), (0, 1), (0, 2), // up the left column
+            (1, 2), (2, 2),         // across the top
+            (2, 1), (1, 1),         // back through the middle
+            (1, 0), (2, 0),         // hook out along the bottom
+        ];
+        assert_eq!(cells, expected);
+    }
+
+    #[test]
+    fn curves_are_bijective_and_unit_step() {
+        for sched in [
+            Schedule::hilbert(1).unwrap(),
+            Schedule::hilbert(2).unwrap(),
+            Schedule::hilbert(3).unwrap(),
+            Schedule::hilbert(4).unwrap(),
+            Schedule::hilbert(5).unwrap(),
+            Schedule::mpeano(1).unwrap(),
+            Schedule::mpeano(2).unwrap(),
+            Schedule::mpeano(3).unwrap(),
+            Schedule::hilbert_peano(1, 1).unwrap(),
+            Schedule::hilbert_peano(1, 2).unwrap(),
+            Schedule::hilbert_peano(2, 1).unwrap(),
+            Schedule::hilbert_peano(3, 1).unwrap(),
+            Schedule::peano_hilbert(1, 2).unwrap(),
+            Schedule::peano_hilbert(2, 1).unwrap(),
+        ] {
+            let c = SfcCurve::generate(&sched);
+            assert!(c.is_bijective(), "not bijective: {sched}");
+            assert!(c.is_unit_step(), "not unit-step: {sched}");
+        }
+    }
+
+    #[test]
+    fn cinco_curves_are_bijective_and_unit_step() {
+        for sched in [
+            Schedule::cinco(1).unwrap(),
+            Schedule::cinco(2).unwrap(),
+            Schedule::for_side(10).unwrap(),
+            Schedule::for_side(15).unwrap(),
+            Schedule::for_side(20).unwrap(),
+            Schedule::for_side(30).unwrap(),
+            Schedule::for_side(60).unwrap(),
+        ] {
+            let c = SfcCurve::generate(&sched);
+            assert!(c.is_bijective(), "not bijective: {sched}");
+            assert!(c.is_unit_step(), "not unit-step: {sched}");
+            assert_eq!(c.entry(), (0, 0));
+            assert_eq!(c.exit(), (c.side() - 1, 0));
+        }
+    }
+
+    #[test]
+    fn cinco_family_classification() {
+        assert_eq!(
+            CurveFamily::of(&Schedule::cinco(2).unwrap()),
+            CurveFamily::Cinco
+        );
+        assert_eq!(
+            CurveFamily::of(&Schedule::for_side(30).unwrap()),
+            CurveFamily::Mixed
+        );
+        assert_eq!(CurveFamily::Cinco.to_string(), "Cinco");
+    }
+
+    #[test]
+    fn entry_and_exit_follow_major_vector() {
+        // Canonical curves enter at (0,0) and exit at (side-1, 0): the exit
+        // corner is displaced from the entry along the +x major vector.
+        for side in [2, 3, 4, 6, 8, 9, 12, 16, 18, 24, 27] {
+            let c = SfcCurve::for_side(side).unwrap();
+            assert_eq!(c.entry(), (0, 0), "side {side}");
+            assert_eq!(c.exit(), (side - 1, 0), "side {side}");
+        }
+    }
+
+    #[test]
+    fn rank_and_cell_are_inverse() {
+        let c = hilbert_peano(1, 1).unwrap(); // side 6
+        for r in 0..c.len() {
+            let (i, j) = c.cell_at(r);
+            assert_eq!(c.rank_of(i, j), r);
+        }
+    }
+
+    #[test]
+    fn paper_fig5_curve_connects_36_subdomains() {
+        // "A level 2 Hilbert-Peano curve that connects 36 sub-domains"
+        let c = hilbert_peano(1, 1).unwrap();
+        assert_eq!(c.len(), 36);
+        assert!(c.is_unit_step());
+    }
+
+    #[test]
+    fn mixed_schedule_order_changes_curve_not_properties() {
+        let a = SfcCurve::generate(&Schedule::hilbert_peano(1, 1).unwrap());
+        let b = SfcCurve::generate(&Schedule::peano_hilbert(1, 1).unwrap());
+        assert_ne!(a, b, "refinement order should matter");
+        assert!(b.is_bijective() && b.is_unit_step());
+    }
+
+    #[test]
+    fn from_order_roundtrip() {
+        let c = hilbert(2).unwrap();
+        let rebuilt = SfcCurve::from_order(c.side(), c.order().to_vec());
+        assert_eq!(c, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn from_order_rejects_duplicates() {
+        SfcCurve::from_order(2, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn from_order_rejects_wrong_length() {
+        SfcCurve::from_order(2, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn family_classification() {
+        assert_eq!(
+            CurveFamily::of(&Schedule::hilbert(3).unwrap()),
+            CurveFamily::Hilbert
+        );
+        assert_eq!(
+            CurveFamily::of(&Schedule::mpeano(2).unwrap()),
+            CurveFamily::MPeano
+        );
+        assert_eq!(
+            CurveFamily::of(&Schedule::hilbert_peano(1, 1).unwrap()),
+            CurveFamily::HilbertPeano
+        );
+        assert_eq!(CurveFamily::HilbertPeano.to_string(), "Hilbert-Peano");
+    }
+
+    #[test]
+    fn large_curve_generates_quickly_and_correctly() {
+        // Side 48 = 2^4 · 3 — a high-resolution climate case (K = 13824).
+        let c = SfcCurve::for_side(48).unwrap();
+        assert_eq!(c.len(), 48 * 48);
+        assert!(c.is_bijective());
+        assert!(c.is_unit_step());
+    }
+
+    #[test]
+    fn schedule_radices_accessor() {
+        let s = Schedule::hilbert_peano(2, 1).unwrap();
+        assert_eq!(s.radices(), &[Radix::Three, Radix::Two, Radix::Two]);
+    }
+}

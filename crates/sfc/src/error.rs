@@ -1,0 +1,50 @@
+//! Error type for curve construction.
+
+use std::fmt;
+
+/// Errors produced while building space-filling curves.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SfcError {
+    /// The requested side length is not of the form `2^n · 3^m` (with
+    /// `side > 1`), so no curve in the Hilbert / m-Peano / Hilbert-Peano
+    /// family exists for it. This is the problem-size restriction the
+    /// paper notes in its conclusions.
+    UnsupportedSize {
+        /// The offending side length.
+        side: usize,
+    },
+    /// A schedule with no refinement levels was supplied.
+    EmptySchedule,
+}
+
+impl fmt::Display for SfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfcError::UnsupportedSize { side } => write!(
+                f,
+                "side length {side} is not 2^n·3^m (> 1); \
+                 no Hilbert/m-Peano/Hilbert-Peano curve exists"
+            ),
+            SfcError::EmptySchedule => write!(f, "refinement schedule is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SfcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_side() {
+        let e = SfcError::UnsupportedSize { side: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SfcError::EmptySchedule);
+    }
+}

@@ -1,0 +1,110 @@
+//! Morton (Z-order) curve — an ablation baseline.
+//!
+//! The paper only evaluates Hilbert-family curves; Morton order is the
+//! cheapest bit-interleaving alternative and is widely used elsewhere
+//! (e.g. in AMR packages). It is *not* unit-step continuous, so its curve
+//! segments are less compact — the `curve_locality` bench quantifies how
+//! much partition quality that costs.
+
+use crate::curve::SfcCurve;
+use crate::error::SfcError;
+
+/// Interleave the low 16 bits of `v` with zeros (result bits at even
+/// positions).
+#[inline]
+fn part1by1(v: u32) -> u32 {
+    let mut x = v & 0x0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Morton key of cell `(i, j)`: bits of `i` at even positions, `j` odd.
+#[inline]
+pub fn morton_key(i: u32, j: u32) -> u64 {
+    (part1by1(i) as u64) | ((part1by1(j) as u64) << 1)
+}
+
+/// Generate a Morton-order curve over a `side × side` grid.
+///
+/// Only power-of-two sides produce the classical recursive Z layout;
+/// other sides are supported by sorting cells on their Morton key, which
+/// degrades gracefully (cells keep Z-order relative positions).
+pub fn morton(side: usize) -> Result<SfcCurve, SfcError> {
+    if side < 2 {
+        return Err(SfcError::UnsupportedSize { side });
+    }
+    let mut cells: Vec<(u64, u32)> = (0..side * side)
+        .map(|lin| {
+            let i = (lin % side) as u32;
+            let j = (lin / side) as u32;
+            (morton_key(i, j), lin as u32)
+        })
+        .collect();
+    cells.sort_unstable();
+    Ok(SfcCurve::from_order(
+        side,
+        cells.into_iter().map(|(_, lin)| lin).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_interleaves_bits() {
+        assert_eq!(morton_key(0, 0), 0);
+        assert_eq!(morton_key(1, 0), 1);
+        assert_eq!(morton_key(0, 1), 2);
+        assert_eq!(morton_key(1, 1), 3);
+        assert_eq!(morton_key(2, 0), 4);
+        assert_eq!(morton_key(0b101, 0b011), 0b011011);
+    }
+
+    #[test]
+    fn keys_are_unique_on_grid() {
+        let side = 17u32;
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..side {
+            for i in 0..side {
+                assert!(seen.insert(morton_key(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn morton_curve_is_bijective() {
+        for side in [2, 3, 4, 8, 9, 16] {
+            let c = morton(side).unwrap();
+            assert!(c.is_bijective(), "side {side}");
+            assert_eq!(c.len(), side * side);
+        }
+    }
+
+    #[test]
+    fn morton_4x4_z_layout() {
+        let c = morton(4).unwrap();
+        let cells: Vec<_> = c.iter().collect();
+        assert_eq!(
+            &cells[..8],
+            &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 0), (3, 0), (2, 1), (3, 1)]
+        );
+    }
+
+    #[test]
+    fn morton_is_not_unit_step() {
+        // The Z jump (1,1) -> (2,0) breaks 4-adjacency: this non-property
+        // is what the locality ablation measures.
+        let c = morton(4).unwrap();
+        assert!(!c.is_unit_step());
+    }
+
+    #[test]
+    fn degenerate_sides_rejected() {
+        assert!(morton(0).is_err());
+        assert!(morton(1).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Dihedral transforms of the square and their action on curves.
+//!
+//! A canonical curve always enters at `(0, 0)` and exits at `(side-1, 0)`.
+//! Threading one continuous curve across the six faces of the cube (paper
+//! Fig. 6) requires each face's curve to enter and exit at prescribed
+//! corners; the eight symmetries of the square are exactly enough to place
+//! the ordered (entry, exit) corner pair on any of the eight ordered
+//! adjacent-corner pairs of the face.
+
+use crate::curve::SfcCurve;
+
+/// One of the four corners of a square index domain, identified by which
+/// end of each axis it sits at.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Corner {
+    /// `true` if the corner is at `i = side - 1`, `false` if at `i = 0`.
+    pub hi_i: bool,
+    /// `true` if the corner is at `j = side - 1`, `false` if at `j = 0`.
+    pub hi_j: bool,
+}
+
+impl Corner {
+    /// Corner at low `i`, low `j` — the canonical entry.
+    pub const LL: Corner = Corner { hi_i: false, hi_j: false };
+    /// Corner at high `i`, low `j` — the canonical exit.
+    pub const LR: Corner = Corner { hi_i: true, hi_j: false };
+    /// Corner at low `i`, high `j`.
+    pub const UL: Corner = Corner { hi_i: false, hi_j: true };
+    /// Corner at high `i`, high `j`.
+    pub const UR: Corner = Corner { hi_i: true, hi_j: true };
+
+    /// All four corners.
+    pub const ALL: [Corner; 4] = [Corner::LL, Corner::LR, Corner::UL, Corner::UR];
+
+    /// The cell coordinates of this corner on a `side × side` grid.
+    #[inline]
+    pub fn cell(self, side: usize) -> (usize, usize) {
+        (
+            if self.hi_i { side - 1 } else { 0 },
+            if self.hi_j { side - 1 } else { 0 },
+        )
+    }
+
+    /// Whether two corners are adjacent (share an edge of the square).
+    #[inline]
+    pub fn is_adjacent(self, other: Corner) -> bool {
+        (self.hi_i != other.hi_i) ^ (self.hi_j != other.hi_j)
+    }
+}
+
+/// A symmetry of the square: an optional transposition followed by
+/// optional flips of each axis.
+///
+/// Acting on cell coordinates of a `side × side` grid:
+/// `(i, j) -> flip(transpose(i, j))`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DihedralTransform {
+    /// Swap `i` and `j` first.
+    pub transpose: bool,
+    /// Then map `i -> side-1-i`.
+    pub flip_i: bool,
+    /// Then map `j -> side-1-j`.
+    pub flip_j: bool,
+}
+
+impl DihedralTransform {
+    /// The identity transform.
+    pub const IDENTITY: DihedralTransform = DihedralTransform {
+        transpose: false,
+        flip_i: false,
+        flip_j: false,
+    };
+
+    /// All eight symmetries of the square.
+    pub fn all() -> impl Iterator<Item = DihedralTransform> {
+        (0..8).map(|k| DihedralTransform {
+            transpose: k & 1 != 0,
+            flip_i: k & 2 != 0,
+            flip_j: k & 4 != 0,
+        })
+    }
+
+    /// Apply to a cell of a `side × side` grid.
+    #[inline]
+    pub fn apply(self, side: usize, cell: (usize, usize)) -> (usize, usize) {
+        let (mut i, mut j) = cell;
+        if self.transpose {
+            std::mem::swap(&mut i, &mut j);
+        }
+        if self.flip_i {
+            i = side - 1 - i;
+        }
+        if self.flip_j {
+            j = side - 1 - j;
+        }
+        (i, j)
+    }
+
+    /// Apply to a corner (side-length independent).
+    #[inline]
+    pub fn apply_corner(self, c: Corner) -> Corner {
+        let (mut hi_i, mut hi_j) = (c.hi_i, c.hi_j);
+        if self.transpose {
+            std::mem::swap(&mut hi_i, &mut hi_j);
+        }
+        Corner {
+            hi_i: hi_i ^ self.flip_i,
+            hi_j: hi_j ^ self.flip_j,
+        }
+    }
+
+    /// The transform mapping the canonical (entry, exit) corner pair
+    /// `(LL, LR)` onto `(entry, exit)`.
+    ///
+    /// Exists (and is unique) precisely when `entry` and `exit` are
+    /// adjacent corners; returns `None` for diagonal or equal pairs.
+    pub fn mapping_entry_exit(entry: Corner, exit: Corner) -> Option<DihedralTransform> {
+        if !entry.is_adjacent(exit) {
+            return None;
+        }
+        DihedralTransform::all().find(|t| {
+            t.apply_corner(Corner::LL) == entry && t.apply_corner(Corner::LR) == exit
+        })
+    }
+
+    /// Transform a whole curve: the returned curve visits
+    /// `apply(cell)` at the rank the original visits `cell`.
+    pub fn apply_curve(self, curve: &SfcCurve) -> SfcCurve {
+        let side = curve.side();
+        let order = (0..curve.len())
+            .map(|r| {
+                let (i, j) = self.apply(side, curve.cell_at(r));
+                (j * side + i) as u32
+            })
+            .collect();
+        SfcCurve::from_order(side, order)
+    }
+
+    /// Compose: apply `self` after `first`.
+    pub fn after(self, first: DihedralTransform) -> DihedralTransform {
+        // Brute-force composition through corner action plus a parity probe
+        // is error-prone; compose symbolically instead.
+        // self ∘ first as functions on (i, j).
+        // first: (i,j) -> F1(T1(i,j)); self: -> F2(T2(..)).
+        // Represent each as (transpose, flip_i, flip_j) and use the identity
+        // T ∘ F(a,b) = F(b,a) ∘ T  (transposing swaps which axis each flip
+        // applies to).
+        let transpose = self.transpose ^ first.transpose;
+        // Push self's transpose (if any) left through first's flips.
+        let (f_i, f_j) = if self.transpose {
+            (first.flip_j, first.flip_i)
+        } else {
+            (first.flip_i, first.flip_j)
+        };
+        DihedralTransform {
+            transpose,
+            flip_i: f_i ^ self.flip_i,
+            flip_j: f_j ^ self.flip_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::hilbert;
+    use crate::schedule::Schedule;
+    use crate::SfcCurve;
+
+    #[test]
+    fn corner_cells() {
+        assert_eq!(Corner::LL.cell(8), (0, 0));
+        assert_eq!(Corner::LR.cell(8), (7, 0));
+        assert_eq!(Corner::UL.cell(8), (0, 7));
+        assert_eq!(Corner::UR.cell(8), (7, 7));
+    }
+
+    #[test]
+    fn corner_adjacency() {
+        assert!(Corner::LL.is_adjacent(Corner::LR));
+        assert!(Corner::LL.is_adjacent(Corner::UL));
+        assert!(!Corner::LL.is_adjacent(Corner::UR)); // diagonal
+        assert!(!Corner::LL.is_adjacent(Corner::LL)); // self
+    }
+
+    #[test]
+    fn eight_distinct_transforms() {
+        let all: Vec<_> = DihedralTransform::all().collect();
+        assert_eq!(all.len(), 8);
+        for (a, ta) in all.iter().enumerate() {
+            for (b, tb) in all.iter().enumerate() {
+                if a != b {
+                    // Distinguishable by action on an asymmetric cell.
+                    assert!(
+                        ta.apply(4, (1, 0)) != tb.apply(4, (1, 0))
+                            || ta.apply(4, (0, 1)) != tb.apply(4, (0, 1))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_adjacent_ordered_pair_is_reachable() {
+        for entry in Corner::ALL {
+            for exit in Corner::ALL {
+                let t = DihedralTransform::mapping_entry_exit(entry, exit);
+                if entry.is_adjacent(exit) {
+                    let t = t.expect("adjacent pair must be reachable");
+                    assert_eq!(t.apply_corner(Corner::LL), entry);
+                    assert_eq!(t.apply_corner(Corner::LR), exit);
+                } else {
+                    assert!(t.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transformed_curve_keeps_invariants() {
+        let c = hilbert(3).unwrap();
+        for t in DihedralTransform::all() {
+            let tc = t.apply_curve(&c);
+            assert!(tc.is_bijective());
+            assert!(tc.is_unit_step());
+        }
+    }
+
+    #[test]
+    fn transformed_curve_has_requested_entry_exit() {
+        let c = SfcCurve::generate(&Schedule::mpeano(2).unwrap());
+        let side = c.side();
+        for entry in Corner::ALL {
+            for exit in Corner::ALL {
+                if !entry.is_adjacent(exit) {
+                    continue;
+                }
+                let t = DihedralTransform::mapping_entry_exit(entry, exit).unwrap();
+                let tc = t.apply_curve(&c);
+                assert_eq!(tc.entry(), entry.cell(side));
+                assert_eq!(tc.exit(), exit.cell(side));
+            }
+        }
+    }
+
+    #[test]
+    fn corner_action_matches_cell_action() {
+        for t in DihedralTransform::all() {
+            for c in Corner::ALL {
+                let via_corner = t.apply_corner(c).cell(6);
+                let via_cell = t.apply(6, c.cell(6));
+                assert_eq!(via_corner, via_cell);
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        for a in DihedralTransform::all() {
+            for b in DihedralTransform::all() {
+                let ab = a.after(b);
+                for cell in [(0usize, 0usize), (1, 0), (0, 1), (2, 1), (3, 3)] {
+                    let seq = a.apply(4, b.apply(4, cell));
+                    let comp = ab.apply(4, cell);
+                    assert_eq!(seq, comp, "a={a:?} b={b:?} cell={cell:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let id = DihedralTransform::IDENTITY;
+        for t in DihedralTransform::all() {
+            assert_eq!(t.after(id), t);
+            assert_eq!(id.after(t), t);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the whole curve family.
+//!
+//! The invariants here are the load-bearing facts the partitioner relies
+//! on: for *every* refinement schedule (any mix of radices 2 and 3, in any
+//! order), the generated curve is a bijection over the grid, consecutive
+//! cells are edge neighbours, and the entry/exit corners obey the major
+//! vector ("block invariant"), which is what makes the six-face threading
+//! and the 2^n·3^m nesting sound.
+
+use cubesfc_sfc::refine::Radix;
+use cubesfc_sfc::{Corner, DihedralTransform, Schedule, SfcCurve};
+use proptest::prelude::*;
+
+/// An arbitrary non-empty schedule with bounded total size.
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    proptest::collection::vec(
+        prop_oneof![Just(Radix::Two), Just(Radix::Three), Just(Radix::Five)],
+        1..=5,
+    )
+        .prop_filter("keep sides small enough to test quickly", |radices| {
+            radices.iter().map(|r| r.side()).product::<usize>() <= 90
+        })
+        .prop_map(|radices| Schedule::from_radices(radices).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_schedule_is_bijective(sched in arb_schedule()) {
+        let c = SfcCurve::generate(&sched);
+        prop_assert!(c.is_bijective(), "schedule {sched}");
+        prop_assert_eq!(c.len(), sched.cells());
+    }
+
+    #[test]
+    fn every_schedule_is_unit_step(sched in arb_schedule()) {
+        let c = SfcCurve::generate(&sched);
+        prop_assert!(c.is_unit_step(), "schedule {sched}");
+    }
+
+    #[test]
+    fn block_invariant_entry_exit(sched in arb_schedule()) {
+        // Canonical orientation: enter at LL, exit at LR (major vector +x).
+        let c = SfcCurve::generate(&sched);
+        let side = c.side();
+        prop_assert_eq!(c.entry(), (0, 0));
+        prop_assert_eq!(c.exit(), (side - 1, 0));
+    }
+
+    #[test]
+    fn rank_inverts_cell(sched in arb_schedule(), r_frac in 0.0f64..1.0) {
+        let c = SfcCurve::generate(&sched);
+        let r = ((c.len() - 1) as f64 * r_frac) as usize;
+        let (i, j) = c.cell_at(r);
+        prop_assert_eq!(c.rank_of(i, j), r);
+    }
+
+    #[test]
+    fn transforms_preserve_invariants(
+        sched in arb_schedule(),
+        k in 0usize..8,
+    ) {
+        let t = DihedralTransform::all().nth(k).unwrap();
+        let c = t.apply_curve(&SfcCurve::generate(&sched));
+        prop_assert!(c.is_bijective());
+        prop_assert!(c.is_unit_step());
+        // Entry/exit remain an adjacent-corner pair.
+        let side = c.side();
+        let is_corner = |(i, j): (usize, usize)| {
+            (i == 0 || i == side - 1) && (j == 0 || j == side - 1)
+        };
+        prop_assert!(is_corner(c.entry()));
+        prop_assert!(is_corner(c.exit()));
+        let (ei, ej) = c.entry();
+        let (xi, xj) = c.exit();
+        // Adjacent corners differ on exactly one axis.
+        prop_assert!((ei != xi) ^ (ej != xj));
+    }
+
+    #[test]
+    fn schedule_order_never_breaks_nesting(
+        n in 1usize..4,
+        m in 1usize..3,
+        peano_first in any::<bool>(),
+    ) {
+        let sched = if peano_first {
+            Schedule::hilbert_peano(n, m).unwrap()
+        } else {
+            Schedule::peano_hilbert(n, m).unwrap()
+        };
+        prop_assume!(sched.side() <= 72);
+        let c = SfcCurve::generate(&sched);
+        prop_assert!(c.is_bijective() && c.is_unit_step());
+    }
+
+    #[test]
+    fn segments_are_connected(sched in arb_schedule(), nparts in 1usize..12) {
+        // A contiguous segment of a unit-step curve is a connected set of
+        // cells: verify by flood fill on a random segmentation.
+        let c = SfcCurve::generate(&sched);
+        prop_assume!(nparts <= c.len());
+        let side = c.side();
+        let n = c.len();
+        let base = n / nparts;
+        let extra = n % nparts;
+        let mut part_of = vec![usize::MAX; n];
+        let mut rank = 0;
+        for p in 0..nparts {
+            let len = base + usize::from(p < extra);
+            for _ in 0..len {
+                let (i, j) = c.cell_at(rank);
+                part_of[j * side + i] = p;
+                rank += 1;
+            }
+        }
+        for p in 0..nparts {
+            let cells: Vec<usize> = (0..n).filter(|&lin| part_of[lin] == p).collect();
+            prop_assert!(!cells.is_empty());
+            // BFS within the segment.
+            let mut seen = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(cells[0]);
+            seen[cells[0]] = true;
+            let mut visited = 0usize;
+            while let Some(lin) = queue.pop_front() {
+                visited += 1;
+                let (i, j) = (lin % side, lin / side);
+                let mut push = |ni: usize, nj: usize| {
+                    let nlin = nj * side + ni;
+                    if part_of[nlin] == p && !seen[nlin] {
+                        seen[nlin] = true;
+                        queue.push_back(nlin);
+                    }
+                };
+                if i > 0 { push(i - 1, j); }
+                if i + 1 < side { push(i + 1, j); }
+                if j > 0 { push(i, j - 1); }
+                if j + 1 < side { push(i, j + 1); }
+            }
+            prop_assert_eq!(visited, cells.len(), "segment {} disconnected", p);
+        }
+    }
+}
+
+#[test]
+fn all_transform_corner_mappings_are_consistent_with_curves() {
+    // Deterministic exhaustive check: for every target (entry, exit)
+    // adjacent pair and a couple of schedules, the transformed curve really
+    // starts/ends at the mapped corners.
+    for sched in [Schedule::hilbert(2).unwrap(), Schedule::mpeano(1).unwrap()] {
+        let c = SfcCurve::generate(&sched);
+        let side = c.side();
+        for entry in Corner::ALL {
+            for exit in Corner::ALL {
+                if !entry.is_adjacent(exit) {
+                    continue;
+                }
+                let t = DihedralTransform::mapping_entry_exit(entry, exit).unwrap();
+                let tc = t.apply_curve(&c);
+                assert_eq!(tc.entry(), entry.cell(side));
+                assert_eq!(tc.exit(), exit.cell(side));
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Climate-campaign planning: for each of the paper's model resolutions,
+//! sweep the valid processor counts and report where SFC partitioning
+//! pays off — the question an NCAR user sizing a century-long run would
+//! actually ask.
+//!
+//! ```text
+//! cargo run --release --example climate_sweep
+//! ```
+
+use cubesfc::report::{best_metis, PartitionReport};
+use cubesfc::{table1, CostModel, CubedSphere, MachineModel, PartitionMethod};
+
+fn main() {
+    let machine = MachineModel::ncar_p690();
+    let cost = CostModel::seam_climate();
+
+    println!("SFC vs best-METIS advantage across the paper's resolutions\n");
+    for res in table1() {
+        let mesh = CubedSphere::new(res.ne);
+        println!(
+            "K = {} (Ne = {}, {} curve):",
+            res.k,
+            res.ne,
+            res.family()
+        );
+        println!(
+            "  {:>6} {:>8} {:>14} {:>14} {:>12}",
+            "Nproc", "elem/p", "SFC time/step", "best METIS", "advantage"
+        );
+        // A handful of representative counts: coarse, the paper's
+        // crossover region (~8 elem/proc), and the extreme.
+        let procs = res.equal_share_procs();
+        let picks: Vec<usize> = procs
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let epp = res.k / p;
+                p == 1 || epp == 8 || epp == 4 || epp == 2 || epp == 1 || p == res.max_nproc
+            })
+            .collect();
+        for nproc in picks {
+            let sfc =
+                PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
+                    .unwrap();
+            let metis = best_metis(&mesh, nproc, &machine, &cost).unwrap();
+            println!(
+                "  {:>6} {:>8} {:>12.2}ms {:>10.2}ms ({}) {:>+9.1}%",
+                nproc,
+                res.k / nproc,
+                sfc.time_us / 1e3,
+                metis.time_us / 1e3,
+                metis.method,
+                (metis.time_us / sfc.time_us - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: the advantage opens below ~8 elements per processor —\n\
+         exactly the regime century-long climate integrations run in."
+    );
+}

@@ -1,0 +1,59 @@
+//! Williamson shallow-water test case 2 on the cubed-sphere — the actual
+//! dynamics of the SEAM model the paper benchmarks (its reference [9]).
+//!
+//! A zonal geostrophically balanced flow is an exact steady state of the
+//! shallow water equations; whatever the solver does to it is pure
+//! numerical error. We integrate it, report the drift and the volume
+//! conservation, and show the spectral convergence that is the selling
+//! point of the spectral element method.
+//!
+//! ```text
+//! cargo run --release --example geostrophic_flow
+//! ```
+
+use cubesfc::seam::{tc2_initial, SwConfig, SwSolver};
+use cubesfc::CubedSphere;
+
+fn main() {
+    let ne = 4;
+    println!(
+        "Williamson TC2 (steady geostrophic flow) on the Ne={ne} cubed-sphere\n"
+    );
+    println!(
+        "{:>4} {:>8} {:>12} {:>14} {:>16}",
+        "np", "steps", "model time", "state drift", "volume drift"
+    );
+
+    for np in [4usize, 5, 6, 7, 8] {
+        let mesh = CubedSphere::new(ne);
+        let cfg = SwConfig::test_case_2(ne, np);
+        let mut solver = SwSolver::new(mesh.topology(), cfg);
+        let (v0, h0) = tc2_initial(1.0, 2.5, cfg.omega, cfg.gravity);
+        solver.set_initial(&v0, &h0);
+
+        let initial = solver.state.clone();
+        let vol0 = solver.total_volume();
+        // Same physical horizon for every order.
+        let t_final = SwConfig::test_case_2(ne, 8).dt * 30.0;
+        let steps = (t_final / cfg.dt).ceil() as usize;
+        solver.run(steps);
+
+        let drift = solver.state.max_abs_diff(&initial);
+        let vol_rel = (solver.total_volume() - vol0).abs() / vol0;
+        println!(
+            "{:>4} {:>8} {:>12.4} {:>14.3e} {:>16.3e}",
+            np,
+            steps,
+            solver.time(),
+            drift,
+            vol_rel
+        );
+    }
+
+    println!(
+        "\nreading: drift shrinks by orders of magnitude as the polynomial\n\
+         degree rises at fixed elements — spectral convergence, the reason\n\
+         SEAM uses high-order elements (and why elements, not points, are\n\
+         the partitioning atoms)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: partition a cubed-sphere and inspect the quality report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cubesfc::report::PartitionReport;
+use cubesfc::{partition_default, CostModel, CubedSphere, MachineModel, PartitionMethod};
+
+fn main() {
+    // The paper's K = 384 resolution: each cube face is an 8×8 array of
+    // spectral elements, traversed by a level-3 Hilbert curve.
+    let mesh = CubedSphere::new(8);
+    println!(
+        "cubed-sphere: Ne = {}, K = {} elements",
+        mesh.ne(),
+        mesh.num_elems()
+    );
+
+    // The global curve is one continuous path over all six faces.
+    let curve = mesh.curve().expect("Ne = 8 = 2^3 admits a Hilbert curve");
+    assert!(curve.is_continuous(mesh.topology()));
+    println!(
+        "global SFC: visits {} elements, first {:?}, last {:?}",
+        curve.len(),
+        mesh.locate(curve.elem_at(0)),
+        mesh.locate(curve.elem_at(curve.len() - 1)),
+    );
+
+    // Partition for 96 processors: 4 elements each, perfectly balanced.
+    let nproc = 96;
+    let part = partition_default(&mesh, PartitionMethod::Sfc, nproc).unwrap();
+    println!(
+        "SFC partition for {nproc} processors: sizes min {} / max {}",
+        part.part_sizes().iter().min().unwrap(),
+        part.part_sizes().iter().max().unwrap()
+    );
+
+    // Compare against the METIS-style baselines on the modelled machine.
+    let machine = MachineModel::ncar_p690();
+    let cost = CostModel::seam_climate();
+    println!("\n{}", PartitionReport::table_header());
+    for method in [
+        PartitionMethod::Sfc,
+        PartitionMethod::MetisKway,
+        PartitionMethod::MetisTv,
+        PartitionMethod::MetisRb,
+    ] {
+        let r = PartitionReport::compute(&mesh, method, nproc, &machine, &cost).unwrap();
+        println!("{}", r.table_row());
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `cubesfc` command-line tool.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cubesfc"))
+}
+
+#[test]
+fn info_reports_mesh_facts() {
+    let out = cli().args(["info", "--ne", "8"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("K           : 384"));
+    assert!(text.contains("SFC         : yes"));
+    assert!(text.contains("continuous  : true"));
+}
+
+#[test]
+fn partition_writes_one_line_per_element() {
+    let out = cli()
+        .args(["partition", "--ne", "4", "--nproc", "8", "--method", "sfc"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 96);
+    // Format: "<elem> <part>", parts within range.
+    for (i, line) in lines.iter().enumerate() {
+        let mut it = line.split_whitespace();
+        assert_eq!(it.next().unwrap().parse::<usize>().unwrap(), i);
+        let part: usize = it.next().unwrap().parse().unwrap();
+        assert!(part < 8);
+    }
+}
+
+#[test]
+fn report_prints_all_methods() {
+    let out = cli()
+        .args(["report", "--ne", "4", "--nproc", "12"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for label in ["SFC", "KWAY", "TV", "RB", "MORTON", "RCB-GEO"] {
+        assert!(text.contains(label), "missing {label}:\n{text}");
+    }
+}
+
+#[test]
+fn render_ascii_produces_a_net() {
+    let out = cli()
+        .args(["render", "--ne", "2", "--nproc", "6", "--ascii"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 6); // 3 bands × ne
+    assert!(text.contains('.'));
+}
+
+#[test]
+fn render_ppm_has_magic_number() {
+    let out = cli()
+        .args(["render", "--ne", "2", "--nproc", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.starts_with(b"P6\n"));
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Missing --ne.
+    let out = cli().args(["info"]).output().unwrap();
+    assert!(!out.status.success());
+    // Unknown method.
+    let out = cli()
+        .args(["partition", "--ne", "4", "--nproc", "2", "--method", "voronoi"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // SFC on an unsupported size.
+    let out = cli()
+        .args(["partition", "--ne", "7", "--nproc", "2", "--method", "sfc"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error"), "{err}");
+}

@@ -1,0 +1,180 @@
+//! The paper's headline claims, as executable assertions.
+//!
+//! Each test pins one *shape* from the evaluation section: who wins,
+//! roughly by how much, and where the crossover falls. Absolute numbers
+//! differ from the 2003 hardware; orderings and regimes must not.
+
+use cubesfc::report::{best_metis, PartitionReport};
+use cubesfc::{
+    partition_default, table1, CostModel, CubedSphere, MachineModel, PartitionMethod,
+};
+
+fn models() -> (MachineModel, CostModel) {
+    (MachineModel::ncar_p690(), CostModel::seam_climate())
+}
+
+#[test]
+fn headline_k384_sfc_wins_at_full_scale() {
+    // Paper: "The SFC algorithm results in 37% better performance than
+    // the best METIS generated partitions on 384 processors."
+    let mesh = CubedSphere::new(8);
+    let (machine, cost) = models();
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 384, &machine, &cost)
+        .unwrap();
+    let metis = best_metis(&mesh, 384, &machine, &cost).unwrap();
+    let adv = metis.time_us / sfc.time_us - 1.0;
+    assert!(
+        adv > 0.25,
+        "SFC advantage at K=384/384p should be large (paper: +37%), got {:+.1}%",
+        adv * 100.0
+    );
+}
+
+#[test]
+fn headline_k486_mpeano_wins_at_full_scale() {
+    // Paper: "+51% performance improvement over the best METIS generated
+    // partitions on 486 processors" — the m-Peano validation.
+    let mesh = CubedSphere::new(9);
+    let (machine, cost) = models();
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 486, &machine, &cost)
+        .unwrap();
+    let metis = best_metis(&mesh, 486, &machine, &cost).unwrap();
+    let adv = metis.time_us / sfc.time_us - 1.0;
+    assert!(adv > 0.30, "m-Peano advantage too small: {:+.1}%", adv * 100.0);
+}
+
+#[test]
+fn headline_k1536_sfc_wins_at_768() {
+    // Paper: "+22% improvement in execution rate at 768 processors".
+    let mesh = CubedSphere::new(16);
+    let (machine, cost) = models();
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 768, &machine, &cost)
+        .unwrap();
+    let metis = best_metis(&mesh, 768, &machine, &cost).unwrap();
+    let adv = metis.time_us / sfc.time_us - 1.0;
+    assert!(adv > 0.15, "K=1536 advantage too small: {:+.1}%", adv * 100.0);
+}
+
+#[test]
+fn crossover_sits_near_eight_elements_per_proc() {
+    // Paper: "At small processor counts, SFC partitions result in speeds
+    // comparable to the METIS partitions. The advantage of the SFC
+    // approach occurs above 50 processors where each processor contains
+    // less than eight spectral elements."
+    let mesh = CubedSphere::new(8); // K = 384
+    let (machine, cost) = models();
+
+    // Comparable below the crossover (≥ 16 elements/proc): within 5%.
+    for nproc in [4usize, 8, 16, 24] {
+        let sfc =
+            PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
+                .unwrap();
+        let metis = best_metis(&mesh, nproc, &machine, &cost).unwrap();
+        let adv = (metis.time_us / sfc.time_us - 1.0).abs();
+        assert!(
+            adv < 0.08,
+            "methods should be comparable at {nproc} procs: {:+.1}%",
+            adv * 100.0
+        );
+    }
+    // Clear advantage above it.
+    for nproc in [96usize, 192, 384] {
+        let sfc =
+            PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
+                .unwrap();
+        let metis = best_metis(&mesh, nproc, &machine, &cost).unwrap();
+        let adv = metis.time_us / sfc.time_us - 1.0;
+        assert!(
+            adv > 0.10,
+            "SFC should clearly win at {nproc} procs: {:+.1}%",
+            adv * 100.0
+        );
+    }
+}
+
+#[test]
+fn table2_shape_holds() {
+    // SFC: perfect computational balance and the lowest modelled time;
+    // KWAY: the lowest edgecut; TCV magnitudes in the paper's 10–25 MB
+    // band.
+    let mesh = CubedSphere::new(16);
+    let (machine, cost) = models();
+    let reports: Vec<PartitionReport> = [
+        PartitionMethod::Sfc,
+        PartitionMethod::MetisKway,
+        PartitionMethod::MetisTv,
+        PartitionMethod::MetisRb,
+    ]
+    .iter()
+    .map(|&m| PartitionReport::compute(&mesh, m, 768, &machine, &cost).unwrap())
+    .collect();
+    let (sfc, kway, tv, rb) = (&reports[0], &reports[1], &reports[2], &reports[3]);
+
+    assert_eq!(sfc.lb_nelemd, 0.0);
+    assert!(sfc.time_us < kway.time_us.min(tv.time_us).min(rb.time_us));
+    assert!(kway.edgecut <= sfc.edgecut);
+    assert!(kway.edgecut <= rb.edgecut);
+    for r in &reports {
+        assert!(
+            (8.0..30.0).contains(&r.tcv_mbytes),
+            "{}: TCV {} MB out of the paper's band",
+            r.method,
+            r.tcv_mbytes
+        );
+    }
+}
+
+#[test]
+fn hilbert_peano_advantage_is_smaller_than_pure_hilbert() {
+    // Paper §4: at 4 elements per processor, K=1944 (Hilbert-Peano) gains
+    // 7% while K=384 (Hilbert) gains 13% — the nested curve's advantage
+    // is "less apparent". Assert the ordering.
+    let (machine, cost) = models();
+
+    let mesh_hp = CubedSphere::new(18);
+    let sfc_hp =
+        PartitionReport::compute(&mesh_hp, PartitionMethod::Sfc, 486, &machine, &cost).unwrap();
+    let metis_hp = best_metis(&mesh_hp, 486, &machine, &cost).unwrap();
+    let adv_hp = metis_hp.time_us / sfc_hp.time_us - 1.0;
+
+    let mesh_h = CubedSphere::new(8);
+    let sfc_h =
+        PartitionReport::compute(&mesh_h, PartitionMethod::Sfc, 96, &machine, &cost).unwrap();
+    let metis_h = best_metis(&mesh_h, 96, &machine, &cost).unwrap();
+    let adv_h = metis_h.time_us / sfc_h.time_us - 1.0;
+
+    assert!(adv_hp > 0.0, "Hilbert-Peano should still win: {adv_hp:+.3}");
+    assert!(
+        adv_hp < adv_h,
+        "paper ordering: HP advantage ({:.1}%) < pure Hilbert ({:.1}%)",
+        adv_hp * 100.0,
+        adv_h * 100.0
+    );
+}
+
+#[test]
+fn single_processor_calibration_matches_paper() {
+    // "the single processor execution rate of 841 Mflops amounts to 16%
+    // of peak performance on the Power-4 processor".
+    let mesh = CubedSphere::new(8);
+    let (machine, cost) = models();
+    let r = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 1, &machine, &cost).unwrap();
+    let mflops = r.perf.sustained_gflops * 1e3;
+    assert!((mflops - 841.0).abs() < 1.0, "{mflops} Mflops");
+    let pct = machine.percent_of_peak(mflops * 1e6);
+    assert!((pct - 16.0).abs() < 0.1, "{pct}% of peak");
+}
+
+#[test]
+fn all_table1_resolutions_run_end_to_end() {
+    let (machine, cost) = models();
+    for res in table1() {
+        let mesh = CubedSphere::new(res.ne);
+        let top = res.max_nproc;
+        let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, top, &machine, &cost)
+            .unwrap();
+        assert_eq!(sfc.lb_nelemd, 0.0, "K={}", res.k);
+        let p = partition_default(&mesh, PartitionMethod::MetisKway, top).unwrap();
+        assert_eq!(p.len(), res.k);
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: partition quality invariants on real
+//! cubed-sphere meshes for every method.
+
+use cubesfc::graph::metrics::{edgecut, load_balance, partition_stats};
+use cubesfc::{partition_default, to_csr, CubedSphere, PartitionMethod};
+
+#[test]
+fn every_method_assigns_every_element_exactly_once() {
+    let mesh = CubedSphere::new(6); // K = 216, Hilbert-Peano face
+    for method in PartitionMethod::ALL {
+        for nproc in [1usize, 4, 9, 27, 54] {
+            let p = partition_default(&mesh, method, nproc).unwrap();
+            assert_eq!(p.len(), 216);
+            assert_eq!(p.part_sizes().iter().sum::<usize>(), 216, "{method}");
+        }
+    }
+}
+
+#[test]
+fn sfc_parts_are_connected_on_the_sphere() {
+    // A contiguous segment of a continuous curve is a connected set of
+    // elements under edge adjacency.
+    let mesh = CubedSphere::new(8);
+    let topo = mesh.topology();
+    for nproc in [2usize, 12, 48, 96] {
+        let p = partition_default(&mesh, PartitionMethod::Sfc, nproc).unwrap();
+        for (part, members) in p.part_members().iter().enumerate() {
+            assert!(!members.is_empty());
+            // BFS within the part.
+            let inside: std::collections::HashSet<u32> = members.iter().copied().collect();
+            let mut seen = std::collections::HashSet::new();
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(members[0]);
+            seen.insert(members[0]);
+            while let Some(e) = queue.pop_front() {
+                for nb in topo.edge_neighbors(cubesfc::ElemId(e)) {
+                    if inside.contains(&nb.elem.0) && seen.insert(nb.elem.0) {
+                        queue.push_back(nb.elem.0);
+                    }
+                }
+            }
+            assert_eq!(
+                seen.len(),
+                members.len(),
+                "nproc={nproc} part {part} disconnected"
+            );
+        }
+    }
+}
+
+#[test]
+fn sfc_balance_is_optimal_for_all_table1_divisors() {
+    for res in cubesfc::table1() {
+        let mesh = CubedSphere::new(res.ne);
+        for nproc in res.equal_share_procs() {
+            let p = partition_default(&mesh, PartitionMethod::Sfc, nproc).unwrap();
+            let sizes: Vec<u64> = p.part_sizes().iter().map(|&s| s as u64).collect();
+            assert_eq!(
+                load_balance(&sizes),
+                0.0,
+                "K={} nproc={nproc}",
+                res.k
+            );
+        }
+    }
+}
+
+#[test]
+fn metis_methods_respect_their_tolerance() {
+    let mesh = CubedSphere::new(8);
+    let g = to_csr(&mesh.dual_graph(Default::default()));
+    for method in PartitionMethod::METIS {
+        for nproc in [6usize, 24, 96, 384] {
+            let p = partition_default(&mesh, method, nproc).unwrap();
+            let target = 384 / nproc;
+            let max = *p.part_weights(&g).iter().max().unwrap();
+            // METIS convention: at most max(3% over, one extra element).
+            let cap = ((target as f64 * 1.03).ceil() as u64).max(target as u64 + 1);
+            assert!(max <= cap, "{method} nproc={nproc}: max {max} cap {cap}");
+        }
+    }
+}
+
+#[test]
+fn kway_cuts_less_than_sfc_cuts() {
+    // The trade the whole paper is about: KWAY wins edgecut, SFC wins
+    // balance.
+    let mesh = CubedSphere::new(16);
+    let g = to_csr(&mesh.dual_graph(Default::default()));
+    for nproc in [24usize, 96, 384] {
+        let sfc = partition_default(&mesh, PartitionMethod::Sfc, nproc).unwrap();
+        let kw = partition_default(&mesh, PartitionMethod::MetisKway, nproc).unwrap();
+        // At low processor counts Hilbert segments are near-optimal
+        // squares, so allow the greedy KWAY a 10% slack there; it must
+        // never be dramatically worse.
+        assert!(
+            edgecut(&g, &kw) as f64 <= edgecut(&g, &sfc) as f64 * 1.10,
+            "nproc={nproc}: kway {} vs sfc {}",
+            edgecut(&g, &kw),
+            edgecut(&g, &sfc)
+        );
+        let s_sfc = partition_stats(&g, &sfc);
+        let s_kw = partition_stats(&g, &kw);
+        assert!(s_sfc.lb_nelemd <= s_kw.lb_nelemd);
+    }
+}
+
+#[test]
+fn unsupported_sizes_fall_back_to_metis_only() {
+    // Ne = 14 = 2·7: outside even the extended curve family; the METIS
+    // path must still work ("both are retained in SEAM").
+    let mesh = CubedSphere::new(14);
+    assert!(partition_default(&mesh, PartitionMethod::Sfc, 14).is_err());
+    let p = partition_default(&mesh, PartitionMethod::MetisRb, 14).unwrap();
+    assert_eq!(p.nonempty_parts(), 14);
+}
+
+#[test]
+fn partitions_are_deterministic_across_calls() {
+    let mesh = CubedSphere::new(8);
+    for method in PartitionMethod::ALL {
+        let a = partition_default(&mesh, method, 24).unwrap();
+        let b = partition_default(&mesh, method, 24).unwrap();
+        assert_eq!(a, b, "{method}");
+    }
+}

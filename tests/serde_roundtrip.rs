@@ -1,0 +1,48 @@
+//! Serialization round-trips (enabled with `--features serde`).
+//!
+//! Partitions computed on one machine are often archived or shipped to a
+//! job launcher; the wire format must preserve them exactly and reject
+//! corrupted assignments.
+
+#![cfg(feature = "serde")]
+
+use cubesfc::{partition_default, CubedSphere, Partition, PartitionMethod};
+
+#[test]
+fn partition_roundtrips_through_json() {
+    let mesh = CubedSphere::new(4);
+    for method in PartitionMethod::ALL {
+        let p = partition_default(&mesh, method, 12).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Partition = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back, "{method}");
+    }
+}
+
+#[test]
+fn corrupted_partitions_are_rejected() {
+    // Assignment out of range must fail deserialization, not panic later.
+    let bad = r#"{"nparts": 2, "assign": [0, 1, 7]}"#;
+    assert!(serde_json::from_str::<Partition>(bad).is_err());
+    let bad = r#"{"nparts": 0, "assign": []}"#;
+    assert!(serde_json::from_str::<Partition>(bad).is_err());
+}
+
+#[test]
+fn reports_serialize() {
+    use cubesfc::report::PartitionReport;
+    use cubesfc::{CostModel, MachineModel};
+    let mesh = CubedSphere::new(2);
+    let r = PartitionReport::compute(
+        &mesh,
+        PartitionMethod::Sfc,
+        4,
+        &MachineModel::ncar_p690(),
+        &CostModel::seam_climate(),
+    )
+    .unwrap();
+    // The nested PerfReport/PartitionStats serialize too.
+    let json = serde_json::to_string(&r.perf).unwrap();
+    assert!(json.contains("lb_nelemd"));
+    assert!(json.contains("sustained_gflops"));
+}

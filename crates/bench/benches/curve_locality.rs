@@ -9,25 +9,25 @@ use cubesfc::sfc::{morton, Schedule, SfcCurve};
 use std::hint::black_box;
 
 fn curves() -> Vec<(String, SfcCurve)> {
-    let mut v = Vec::new();
-    v.push((
-        "hilbert_16".into(),
-        SfcCurve::generate(&Schedule::hilbert(4).unwrap()),
-    ));
-    v.push((
-        "mpeano_27".into(),
-        SfcCurve::generate(&Schedule::mpeano(3).unwrap()),
-    ));
-    v.push((
-        "hilbert_peano_18".into(),
-        SfcCurve::generate(&Schedule::hilbert_peano(1, 2).unwrap()),
-    ));
-    v.push((
-        "peano_hilbert_18".into(),
-        SfcCurve::generate(&Schedule::peano_hilbert(1, 2).unwrap()),
-    ));
-    v.push(("morton_16".into(), morton(16).unwrap()));
-    v
+    vec![
+        (
+            "hilbert_16".into(),
+            SfcCurve::generate(&Schedule::hilbert(4).unwrap()),
+        ),
+        (
+            "mpeano_27".into(),
+            SfcCurve::generate(&Schedule::mpeano(3).unwrap()),
+        ),
+        (
+            "hilbert_peano_18".into(),
+            SfcCurve::generate(&Schedule::hilbert_peano(1, 2).unwrap()),
+        ),
+        (
+            "peano_hilbert_18".into(),
+            SfcCurve::generate(&Schedule::peano_hilbert(1, 2).unwrap()),
+        ),
+        ("morton_16".into(), morton(16).unwrap()),
+    ]
 }
 
 fn bench_locality(c: &mut Criterion) {

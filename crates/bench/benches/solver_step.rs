@@ -34,13 +34,8 @@ fn bench_partition_methods(c: &mut Criterion) {
             &part,
             |b, part| {
                 b.iter(|| {
-                    let (field, stats) = run_parallel(
-                        topo,
-                        part,
-                        cfg,
-                        2,
-                        gaussian_blob([1.0, 0.0, 0.0], 0.5),
-                    );
+                    let (field, stats) =
+                        run_parallel(topo, part, cfg, 2, gaussian_blob([1.0, 0.0, 0.0], 0.5));
                     black_box((field, stats))
                 })
             },

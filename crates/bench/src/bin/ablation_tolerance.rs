@@ -11,9 +11,7 @@
 //! ```
 
 use cubesfc::report::PartitionReport;
-use cubesfc::{
-    partition, CubedSphere, PartitionMethod, PartitionOptions,
-};
+use cubesfc::{partition, CubedSphere, PartitionMethod, PartitionOptions};
 use cubesfc_bench::paper_models;
 
 fn main() {
@@ -21,8 +19,8 @@ fn main() {
     let (machine, cost) = paper_models();
     let nproc = 768;
 
-    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
-        .unwrap();
+    let sfc =
+        PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost).unwrap();
     println!(
         "K = 1536, {nproc} processors; SFC reference: LB = {:.3}, cut = {}, {:.0} us/step\n",
         sfc.lb_nelemd, sfc.edgecut, sfc.time_us
@@ -35,7 +33,8 @@ fn main() {
         let mut opts = PartitionOptions::default();
         opts.graph_config.ub_factor = ub;
         let p = partition(&mesh, PartitionMethod::MetisKway, nproc, &opts).unwrap();
-        let r = PartitionReport::from_partition(&mesh, PartitionMethod::MetisKway, &p, &machine, &cost);
+        let r =
+            PartitionReport::from_partition(&mesh, PartitionMethod::MetisKway, &p, &machine, &cost);
         println!(
             "{:>10.3} | {:>10.3} {:>9} {:>12.0} | {:>+11.1}%",
             ub,

@@ -32,8 +32,7 @@ fn main() {
         ] {
             let p = partition_default(&mesh, method, nproc).unwrap();
             let id = internode_traffic_fraction(&g, &p, &machine, &RankMap::identity(nproc));
-            let rand =
-                internode_traffic_fraction(&g, &p, &machine, &RankMap::random(nproc, 42));
+            let rand = internode_traffic_fraction(&g, &p, &machine, &RankMap::random(nproc, 42));
             let packed = greedy_node_packing(&g, &p, &machine);
             let gr = internode_traffic_fraction(&g, &p, &machine, &packed);
             println!(

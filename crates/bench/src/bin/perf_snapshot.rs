@@ -1,0 +1,42 @@
+//! `perf_snapshot` — machine-readable performance snapshot for the
+//! benchmark trajectory (`BENCH_*.json`).
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin perf_snapshot [OUT.json]
+//! ```
+//!
+//! Runs the fixed Figure-7 sweep (K = 384, all methods, a thinned
+//! divisor ladder) with profiling enabled and writes the merged
+//! observability snapshot — per-phase wall-clock timers, counters, and
+//! log₂ histograms — as `cubesfc-profile-v1` JSON to `OUT.json`
+//! (default `BENCH_profile.json`). The schema is stable across runs:
+//! keys are sorted, values are unsigned integers, only the timing
+//! magnitudes vary. The human-readable phase table goes to stderr.
+
+use cubesfc::CubedSphere;
+use cubesfc_bench::{divisor_procs, paper_models, sweep};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_profile.json".into());
+
+    cubesfc_obs::set_enabled(true);
+    let mesh = CubedSphere::new(8); // K = 384, the paper's headline size
+    let (machine, cost) = paper_models();
+    let procs = divisor_procs(384, 384, 8);
+    let rows = sweep(&mesh, &procs, &machine, &cost);
+
+    let snap = cubesfc_obs::snapshot();
+    eprint!("{}", snap.render_table());
+    if let Err(e) = std::fs::write(&path, snap.to_json()) {
+        eprintln!("error: failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "(perf snapshot for {} sweep points written to {path})",
+        rows.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -49,8 +49,10 @@ fn main() {
     );
 
     let mut prev_sfc = partition_curve_weighted(curve, nproc, &storm_weights(&mesh, 0.0)).unwrap();
-    let mut opts = PartitionOptions::default();
-    opts.weights = Some(storm_weights(&mesh, 0.0));
+    let opts = PartitionOptions {
+        weights: Some(storm_weights(&mesh, 0.0)),
+        ..Default::default()
+    };
     let mut prev_kway = partition(&mesh, PartitionMethod::MetisKway, nproc, &opts).unwrap();
 
     let mut sfc_total = 0.0;
@@ -63,8 +65,10 @@ fn main() {
         let sfc = partition_curve_weighted(curve, nproc, &w).unwrap();
         let f_sfc = migration_fraction(&prev_sfc, &sfc);
 
-        let mut opts = PartitionOptions::default();
-        opts.weights = Some(w);
+        let mut opts = PartitionOptions {
+            weights: Some(w),
+            ..Default::default()
+        };
         opts.graph_config.seed = step as u64; // fresh solve, as AMR would
         let kw = partition(&mesh, PartitionMethod::MetisKway, nproc, &opts).unwrap();
         let f_kway = migration_fraction(&prev_kway, &kw);

@@ -16,7 +16,7 @@ fn main() {
         println!(
             "{:>6} {:>12} {:>6} {:>16} {:>16}",
             r.k,
-            format!("1 to {}", r.max_nproc),
+            format!("1 to {}", r.paper_max_nproc),
             r.ne,
             r.hilbert_levels,
             r.mpeano_levels

@@ -44,8 +44,7 @@ fn main() {
                 let vol_k = metis_volume(&g, &pk);
                 let vol_t = metis_volume(&g, &pt);
                 let bytes = |p: &cubesfc::Partition| -> f64 {
-                    send_points_per_part(&g, p).iter().sum::<u64>() as f64 / 2.0
-                        * bytes_per_point
+                    send_points_per_part(&g, p).iter().sum::<u64>() as f64 / 2.0 * bytes_per_point
                         / 1e6
                 };
                 let (mb_k, mb_t) = (bytes(&pk), bytes(&pt));

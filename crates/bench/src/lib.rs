@@ -7,6 +7,7 @@
 use cubesfc::report::PartitionReport;
 use cubesfc::{CostModel, CubedSphere, MachineModel, PartitionMethod};
 use rayon::prelude::*;
+use std::io::{self, BufWriter, Write};
 
 /// One figure point: every method evaluated at one processor count.
 #[derive(Clone, Debug)]
@@ -78,50 +79,68 @@ pub fn sweep(
         .collect()
 }
 
-/// Print a speedup figure (paper Figures 7–8): one line per processor
+/// Write a speedup figure (paper Figures 7–8): one line per processor
 /// count, one column per method plus the ideal.
-pub fn print_speedup_figure(title: &str, rows: &[SweepRow]) {
-    println!("{title}");
-    println!(
+pub fn write_speedup_figure(w: &mut impl Write, title: &str, rows: &[SweepRow]) -> io::Result<()> {
+    writeln!(w, "{title}")?;
+    writeln!(
+        w,
         "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "Nproc", "elem/p", "ideal", "SFC", "KWAY", "TV", "RB", "SFC vs best"
-    );
+    )?;
     for row in rows {
-        print!(
+        write!(
+            w,
             "{:>6} {:>8.1} {:>10.1}",
             row.nproc, row.elems_per_proc, row.nproc as f64
-        );
+        )?;
         for r in &row.reports {
-            print!(" {:>10.1}", r.perf.speedup);
+            write!(w, " {:>10.1}", r.perf.speedup)?;
         }
-        println!(" {:>+11.1}%", row.sfc_advantage_pct());
+        writeln!(w, " {:>+11.1}%", row.sfc_advantage_pct())?;
     }
-    println!();
+    writeln!(w)
 }
 
-/// Print a sustained-Gflops figure (paper Figures 9–10).
-pub fn print_gflops_figure(title: &str, rows: &[SweepRow]) {
-    println!("{title}");
-    println!(
+/// [`write_speedup_figure`] to stdout through one locked, buffered writer
+/// (one syscall-sized flush instead of a `print!` per cell).
+pub fn print_speedup_figure(title: &str, rows: &[SweepRow]) {
+    let mut w = BufWriter::new(io::stdout().lock());
+    write_speedup_figure(&mut w, title, rows).expect("write to stdout");
+    w.flush().expect("flush stdout");
+}
+
+/// Write a sustained-Gflops figure (paper Figures 9–10).
+pub fn write_gflops_figure(w: &mut impl Write, title: &str, rows: &[SweepRow]) -> io::Result<()> {
+    writeln!(w, "{title}")?;
+    writeln!(
+        w,
         "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "Nproc", "elem/p", "SFC", "KWAY", "TV", "RB", "SFC vs best"
-    );
+    )?;
     for row in rows {
-        print!("{:>6} {:>8.1}", row.nproc, row.elems_per_proc);
+        write!(w, "{:>6} {:>8.1}", row.nproc, row.elems_per_proc)?;
         for r in &row.reports {
-            print!(" {:>10.2}", r.perf.sustained_gflops);
+            write!(w, " {:>10.2}", r.perf.sustained_gflops)?;
         }
-        println!(" {:>+11.1}%", row.sfc_advantage_pct());
+        writeln!(w, " {:>+11.1}%", row.sfc_advantage_pct())?;
     }
-    println!();
+    writeln!(w)
+}
+
+/// [`write_gflops_figure`] to stdout through one locked, buffered writer.
+pub fn print_gflops_figure(title: &str, rows: &[SweepRow]) {
+    let mut w = BufWriter::new(io::stdout().lock());
+    write_gflops_figure(&mut w, title, rows).expect("write to stdout");
+    w.flush().expect("flush stdout");
 }
 
 /// Render a sweep as CSV (for plotting): one row per processor count
 /// with speedup and sustained Gflops per method.
 pub fn sweep_to_csv(rows: &[SweepRow]) -> String {
     let mut out = String::from(
-        "nproc,elems_per_proc,speedup_sfc,speedup_kway,speedup_tv,speedup_rb,gflops_sfc,gflops_kway,gflops_tv,gflops_rb,sfc_advantage_pct
-",
+        "nproc,elems_per_proc,speedup_sfc,speedup_kway,speedup_tv,speedup_rb,\
+         gflops_sfc,gflops_kway,gflops_tv,gflops_rb,sfc_advantage_pct\n",
     );
     for row in rows {
         out.push_str(&format!("{},{}", row.nproc, row.elems_per_proc));
@@ -131,17 +150,23 @@ pub fn sweep_to_csv(rows: &[SweepRow]) -> String {
         for r in &row.reports {
             out.push_str(&format!(",{:.4}", r.perf.sustained_gflops));
         }
-        out.push_str(&format!(",{:.2}
-", row.sfc_advantage_pct()));
+        out.push_str(&format!(",{:.2}\n", row.sfc_advantage_pct()));
     }
     out
 }
 
+/// Write the sweep to `path` as CSV.
+pub fn write_csv(path: &str, rows: &[SweepRow]) -> io::Result<()> {
+    std::fs::write(path, sweep_to_csv(rows))
+}
+
 /// If `CUBESFC_CSV` is set, write the sweep to that path as CSV and note
 /// it on stdout. Lets every figure binary double as a plot-data exporter.
+/// Write failures are reported on stderr, never panicked on — a bad path
+/// must not lose the figure that was just computed.
 pub fn maybe_write_csv(rows: &[SweepRow]) {
     if let Ok(path) = std::env::var("CUBESFC_CSV") {
-        match std::fs::write(&path, sweep_to_csv(rows)) {
+        match write_csv(&path, rows) {
             Ok(()) => println!("(CSV written to {path})"),
             Err(e) => eprintln!("(failed to write CSV to {path}: {e})"),
         }
@@ -151,7 +176,7 @@ pub fn maybe_write_csv(rows: &[SweepRow]) {
 /// Divisors of `k` up to `cap`, optionally thinned to at most `max_points`
 /// (keeping the largest counts, where the paper's effect lives).
 pub fn divisor_procs(k: usize, cap: usize, max_points: usize) -> Vec<usize> {
-    let mut d: Vec<usize> = (1..=cap.min(k)).filter(|p| k % p == 0).collect();
+    let mut d: Vec<usize> = (1..=cap.min(k)).filter(|p| k.is_multiple_of(*p)).collect();
     if d.len() > max_points {
         let skip = d.len() - max_points;
         d.drain(1..1 + skip);
@@ -205,6 +230,148 @@ mod tests {
     }
 
     #[test]
+    fn csv_columns_stay_in_sync_with_sweep_methods() {
+        // nproc, elems_per_proc, one speedup and one gflops column per
+        // method, and the advantage column. If SWEEP_METHODS grows, the
+        // header and every data row must grow with it.
+        let expected_cols = 2 + 2 * SWEEP_METHODS.len() + 1;
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[2, 4, 8], &machine, &cost);
+        let csv = sweep_to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + rows.len());
+        for line in &lines {
+            assert_eq!(line.split(',').count(), expected_cols, "{line}");
+        }
+        // The header names one speedup and one gflops column per method.
+        let header = lines[0];
+        assert_eq!(
+            header.matches("speedup_").count(),
+            SWEEP_METHODS.len(),
+            "{header}"
+        );
+        assert_eq!(
+            header.matches("gflops_").count(),
+            SWEEP_METHODS.len(),
+            "{header}"
+        );
+    }
+
+    #[test]
+    fn write_csv_round_trips_through_a_file() {
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[2, 4], &machine, &cost);
+        let dir = std::env::temp_dir().join(format!("cubesfc-bench-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.csv");
+        write_csv(path.to_str().unwrap(), &rows).unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, sweep_to_csv(&rows));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Serialises the tests that mutate the (process-global) `CUBESFC_CSV`
+    /// environment variable.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn maybe_write_csv_honours_the_env_var() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[2], &machine, &cost);
+        let dir = std::env::temp_dir().join(format!("cubesfc-bench-env-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("from-env.csv");
+        std::env::set_var("CUBESFC_CSV", &path);
+        maybe_write_csv(&rows);
+        std::env::remove_var("CUBESFC_CSV");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, sweep_to_csv(&rows));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maybe_write_csv_survives_an_unwritable_path() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[2], &machine, &cost);
+        // A directory that does not exist: fs::write fails, the error is
+        // reported on stderr, and nothing panics.
+        std::env::set_var("CUBESFC_CSV", "/nonexistent-cubesfc-dir/sweep.csv");
+        maybe_write_csv(&rows);
+        std::env::remove_var("CUBESFC_CSV");
+        // Unset, it is a no-op.
+        maybe_write_csv(&rows);
+    }
+
+    #[test]
+    fn figure_writers_emit_one_line_per_row() {
+        let mesh = CubedSphere::new(2);
+        let (machine, cost) = paper_models();
+        let rows = sweep(&mesh, &[2, 4], &machine, &cost);
+        let mut speedup = Vec::new();
+        write_speedup_figure(&mut speedup, "T", &rows).unwrap();
+        let text = String::from_utf8(speedup).unwrap();
+        // Title + header + one line per row + trailing blank line.
+        assert_eq!(text.lines().count(), 3 + rows.len());
+        assert!(text.ends_with("%\n\n"));
+        assert!(text.contains("ideal"));
+        let mut gflops = Vec::new();
+        write_gflops_figure(&mut gflops, "T", &rows).unwrap();
+        let text = String::from_utf8(gflops).unwrap();
+        assert_eq!(text.lines().count(), 3 + rows.len());
+        assert!(text.contains("SFC vs best"));
+    }
+
+    /// Serialises tests that use the process-global observability
+    /// registry (cargo runs tests on concurrent threads).
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn parallel_sweep_merges_shards_like_the_serial_run() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mesh = CubedSphere::new(4);
+        let (machine, cost) = paper_models();
+        let procs = [2, 4, 8];
+
+        cubesfc_obs::set_enabled(true);
+        cubesfc_obs::reset();
+        for &nproc in &procs {
+            for &m in &SWEEP_METHODS {
+                PartitionReport::compute(&mesh, m, nproc, &machine, &cost).unwrap();
+            }
+        }
+        let serial = cubesfc_obs::snapshot();
+
+        cubesfc_obs::reset();
+        let rows = sweep(&mesh, &procs, &machine, &cost);
+        let parallel = cubesfc_obs::snapshot();
+        cubesfc_obs::set_enabled(false);
+        cubesfc_obs::reset();
+
+        assert_eq!(rows.len(), procs.len());
+        // The partitioners are deterministic (fixed seeds), so the merged
+        // per-thread shards of the Rayon run must reproduce the serial
+        // counters and histograms exactly; only wall-clock timings differ.
+        assert!(!serial.counters.is_empty());
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(serial.histograms, parallel.histograms);
+        assert_eq!(
+            serial.counters["partition/calls"],
+            (procs.len() * SWEEP_METHODS.len()) as u64
+        );
+        // Same span paths were observed, with the same call counts.
+        let counts = |s: &cubesfc_obs::Snapshot| -> Vec<(String, u64)> {
+            s.timers.iter().map(|(k, v)| (k.clone(), v.count)).collect()
+        };
+        assert_eq!(counts(&serial), counts(&parallel));
+    }
+
+    #[test]
     fn sweep_row_accessors() {
         let mesh = CubedSphere::new(2);
         let (machine, cost) = paper_models();
@@ -212,8 +379,14 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let row = &rows[0];
         assert_eq!(row.sfc().method, PartitionMethod::Sfc);
-        assert!(row.best_metis().time_us >= row.reports[1..].iter()
-            .map(|r| r.time_us).fold(f64::INFINITY, f64::min) - 1e-12);
+        assert!(
+            row.best_metis().time_us
+                >= row.reports[1..]
+                    .iter()
+                    .map(|r| r.time_us)
+                    .fold(f64::INFINITY, f64::min)
+                    - 1e-12
+        );
         // Advantage is finite.
         assert!(row.sfc_advantage_pct().is_finite());
     }

@@ -8,13 +8,18 @@
 //! cubesfc info      --ne 8                       # mesh + curve facts
 //! ```
 //!
+//! Any command accepts `--profile`, which prints a hierarchical phase
+//! profile (span tree, counters, histograms) to stderr on exit. The
+//! `CUBESFC_PROFILE` environment variable also enables profiling:
+//! `CUBESFC_PROFILE=1` prints the table, `CUBESFC_PROFILE=json:<path>`
+//! additionally writes the profile as `cubesfc-profile-v1` JSON to
+//! `<path>`.
+//!
 //! The assignment output format is one line per element: `elem part`.
 
 use cubesfc::report::PartitionReport;
 use cubesfc::viz::{render_partition_ascii, render_partition_ppm};
-use cubesfc::{
-    partition, CostModel, CubedSphere, MachineModel, PartitionMethod, PartitionOptions,
-};
+use cubesfc::{partition, CostModel, CubedSphere, MachineModel, PartitionMethod, PartitionOptions};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -26,12 +31,23 @@ struct Args {
     output: Option<String>,
     seed: u64,
     ascii: bool,
+    profile: bool,
+}
+
+/// What to do with the profile when the command finishes.
+struct ProfileSink {
+    /// Print the rendered table to stderr.
+    table: bool,
+    /// Also write JSON here.
+    json_path: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cubesfc <partition|report|render|info> --ne N [--nproc P]\n\
-         \t[--method sfc|kway|tv|rb|morton|rcb] [--output FILE] [--seed N] [--ascii]"
+         \t[--method sfc|kway|tv|rb|morton|rcb] [--output FILE] [--seed N] [--ascii]\n\
+         \t[--profile]  (or CUBESFC_PROFILE=1 | CUBESFC_PROFILE=json:FILE)\n\
+         \tcubesfc --version"
     );
     ExitCode::from(2)
 }
@@ -47,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         output: None,
         seed: 0x5EED,
         ascii: false,
+        profile: false,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -85,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--output" => args.output = Some(it.next().ok_or("--output needs a value")?),
             "--ascii" => args.ascii = true,
+            "--profile" => args.profile = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -92,6 +110,33 @@ fn parse_args() -> Result<Args, String> {
         return Err("--ne is required".into());
     }
     Ok(args)
+}
+
+/// Combine `--profile` and `CUBESFC_PROFILE` into one sink (or none).
+///
+/// `CUBESFC_PROFILE=json:<path>` writes JSON *and* prints the table;
+/// any other non-empty value just prints the table.
+fn profile_sink(flag: bool) -> Option<ProfileSink> {
+    let env = std::env::var("CUBESFC_PROFILE").unwrap_or_default();
+    let json_path = env.strip_prefix("json:").map(str::to_string);
+    if !flag && env.is_empty() {
+        return None;
+    }
+    Some(ProfileSink {
+        table: true,
+        json_path,
+    })
+}
+
+fn write_profile(sink: &ProfileSink) -> Result<(), String> {
+    let snap = cubesfc_obs::snapshot();
+    if sink.table {
+        eprint!("{}", snap.render_table());
+    }
+    if let Some(path) = &sink.json_path {
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn emit(path: &Option<String>, bytes: &[u8]) -> Result<(), String> {
@@ -118,15 +163,12 @@ fn run(args: Args) -> Result<(), String> {
                         .map(|s| s.to_string())
                         .unwrap_or_else(|_| "trivial".into());
                     println!("SFC         : yes ({sched})");
-                    println!(
-                        "continuous  : {}",
-                        c.is_continuous(mesh.topology())
-                    );
+                    println!("continuous  : {}", c.is_continuous(mesh.topology()));
                 }
                 None => println!("SFC         : no (Ne has a prime factor > 5)"),
             }
             let divisors: Vec<String> = (1..=mesh.num_elems())
-                .filter(|p| mesh.num_elems() % p == 0)
+                .filter(|p| mesh.num_elems().is_multiple_of(*p))
                 .map(|p| p.to_string())
                 .collect();
             println!("equal-share : {}", divisors.join(" "));
@@ -136,8 +178,7 @@ fn run(args: Args) -> Result<(), String> {
             if args.nproc == 0 {
                 return Err("--nproc is required".into());
             }
-            let p = partition(&mesh, args.method, args.nproc, &opts)
-                .map_err(|e| e.to_string())?;
+            let p = partition(&mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
             let mut out = String::new();
             for (e, part) in p.assignment().iter().enumerate() {
                 out.push_str(&format!("{e} {part}\n"));
@@ -163,8 +204,7 @@ fn run(args: Args) -> Result<(), String> {
             if args.nproc == 0 {
                 return Err("--nproc is required".into());
             }
-            let p = partition(&mesh, args.method, args.nproc, &opts)
-                .map_err(|e| e.to_string())?;
+            let p = partition(&mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
             if args.ascii {
                 emit(&args.output, render_partition_ascii(&mesh, &p).as_bytes())
             } else {
@@ -176,17 +216,39 @@ fn run(args: Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    // `--version` is accepted anywhere on the command line, like
+    // conventional CLIs, and short-circuits everything else.
+    if std::env::args()
+        .skip(1)
+        .any(|a| a == "--version" || a == "-V")
+    {
+        println!("cubesfc {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     match parse_args() {
         Err(e) => {
             eprintln!("error: {e}");
             usage()
         }
-        Ok(args) => match run(args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Ok(args) => {
+            let sink = profile_sink(args.profile);
+            if sink.is_some() {
+                cubesfc_obs::set_enabled(true);
             }
-        },
+            let result = run(args);
+            if let Some(sink) = &sink {
+                if let Err(e) = write_profile(sink) {
+                    eprintln!("error: profile export failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
     }
 }

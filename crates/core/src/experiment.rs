@@ -24,8 +24,15 @@ pub struct Resolution {
     pub hilbert_levels: usize,
     /// m-Peano recursion levels (`m`).
     pub mpeano_levels: usize,
-    /// Largest processor count tested in the paper.
+    /// Largest equal-share processor count within the machine limit
+    /// (the largest divisor of `K` not exceeding the cap).
     pub max_nproc: usize,
+    /// Largest processor count the paper's Table 1 actually reports.
+    ///
+    /// Usually equal to [`max_nproc`](Self::max_nproc), but for
+    /// `K = 1944` the paper stops at 486 processors (4 elements each)
+    /// even though 648 divides 1944 and fits on the 768-processor P690.
+    pub paper_max_nproc: usize,
 }
 
 impl Resolution {
@@ -44,14 +51,23 @@ impl Resolution {
         // processor").
         let max_nproc = (1..=k.min(max_procs))
             .rev()
-            .find(|p| k % p == 0)
+            .find(|p| k.is_multiple_of(*p))
             .unwrap_or(1);
+        // Table 1 reports 486 as the top count for Ne=18 (K=1944) even
+        // though 648 is an in-cap divisor; every other row matches the
+        // divisor cap.
+        let paper_max_nproc = if ne == 18 {
+            486.min(max_nproc)
+        } else {
+            max_nproc
+        };
         Some(Resolution {
             ne,
             k,
             hilbert_levels: n,
             mpeano_levels: m,
             max_nproc,
+            paper_max_nproc,
         })
     }
 
@@ -69,7 +85,7 @@ impl Resolution {
     /// processor: divisors of `K` up to `max_nproc`.
     pub fn equal_share_procs(&self) -> Vec<usize> {
         (1..=self.max_nproc)
-            .filter(|p| self.k % p == 0)
+            .filter(|p| self.k.is_multiple_of(*p))
             .collect()
     }
 
@@ -106,11 +122,12 @@ mod tests {
             (18, 1944, 1, 2, 486),
         ];
         assert_eq!(rows.len(), 4);
-        for (row, (ne, k, h, m, _)) in rows.iter().zip(&expect) {
+        for (row, (ne, k, h, m, paper_cap)) in rows.iter().zip(&expect) {
             assert_eq!(row.ne, *ne);
             assert_eq!(row.k, *k);
             assert_eq!(row.hilbert_levels, *h, "Ne={ne}");
             assert_eq!(row.mpeano_levels, *m, "Ne={ne}");
+            assert_eq!(row.paper_max_nproc, *paper_cap, "Ne={ne}");
         }
         // Machine cap: K=1536 tops out at 768 processors.
         assert_eq!(rows[2].max_nproc, 768);
@@ -121,16 +138,23 @@ mod tests {
 
     #[test]
     fn k1944_max_nproc_is_a_divisor_cap() {
-        // The paper ran K=1944 up to 486 processors (4 elements each);
-        // 1944 capped at 768 still permits divisor 486 but not 648 > 486?
-        // 648 divides 1944 (1944/648 = 3) and 648 ≤ 768 — the paper
-        // nevertheless reports 486 as the top count; our Resolution keeps
-        // the machine cap and exposes all divisors.
+        // 648 divides 1944 (1944/648 = 3) and 648 ≤ 768, so the
+        // machine-divisor cap is 648 — but the paper's Table 1 reports
+        // 486 (4 elements each) as the top count. `Resolution` exposes
+        // both: `max_nproc` keeps the divisor cap (and all its
+        // divisors), `paper_max_nproc` records what the paper ran.
         let r = Resolution::for_ne(18, NCAR_P690_MAX_PROCS).unwrap();
+        assert_eq!(r.max_nproc, 648);
+        assert_eq!(r.paper_max_nproc, 486);
         let procs = r.equal_share_procs();
         assert!(procs.contains(&486));
         assert!(procs.contains(&648));
         assert_eq!(*procs.last().unwrap(), 648);
+        // Every other Table-1 row reports its divisor cap unchanged.
+        for ne in [8, 9, 16] {
+            let r = Resolution::for_ne(ne, NCAR_P690_MAX_PROCS).unwrap();
+            assert_eq!(r.paper_max_nproc, r.max_nproc, "Ne={ne}");
+        }
     }
 
     #[test]

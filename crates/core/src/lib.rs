@@ -68,5 +68,6 @@ pub use sfc_partition::{partition_curve, partition_curve_weighted, segment_range
 // Re-export the sub-crates so downstream users need only one dependency.
 pub use cubesfc_graph::{self as graph, Partition, PartitionConfig};
 pub use cubesfc_mesh::{self as mesh, CubedSphere, ElemId, GlobalCurve, Topology};
+pub use cubesfc_obs as obs;
 pub use cubesfc_seam::{self as seam, CostModel, MachineModel, PerfReport};
 pub use cubesfc_sfc::{self as sfc, CurveFamily, Schedule, SfcCurve};

@@ -2,9 +2,7 @@
 
 use crate::error::PartitionError;
 use crate::sfc_partition::{partition_curve, partition_curve_weighted};
-use cubesfc_graph::{
-    kway, kway_volume, recursive_bisection, CsrGraph, Partition, PartitionConfig,
-};
+use cubesfc_graph::{kway, kway_volume, recursive_bisection, CsrGraph, Partition, PartitionConfig};
 use cubesfc_mesh::{CubedSphere, DualGraph, ExchangeWeights, GlobalCurve};
 use cubesfc_sfc::Schedule;
 use std::fmt;
@@ -128,6 +126,8 @@ pub fn partition(
     nproc: usize,
     opts: &PartitionOptions,
 ) -> Result<Partition, PartitionError> {
+    let _span = cubesfc_obs::span("partition");
+    cubesfc_obs::counter_add("partition/calls", 1);
     let k = mesh.num_elems();
     if nproc == 0 {
         return Err(PartitionError::ZeroParts);
@@ -138,14 +138,20 @@ pub fn partition(
 
     match method {
         PartitionMethod::Sfc => {
-            let curve = mesh.curve_required()?;
+            let curve = {
+                let _span = cubesfc_obs::span("curve");
+                mesh.curve_required()?
+            };
             match &opts.weights {
                 None => partition_curve(curve, nproc),
                 Some(w) => partition_curve_weighted(curve, nproc, w),
             }
         }
         PartitionMethod::Morton => {
-            let curve = morton_curve(mesh)?;
+            let curve = {
+                let _span = cubesfc_obs::span("curve");
+                morton_curve(mesh)?
+            };
             match &opts.weights {
                 None => partition_curve(&curve, nproc),
                 Some(w) => partition_curve_weighted(&curve, nproc, w),
@@ -153,17 +159,23 @@ pub fn partition(
         }
         PartitionMethod::Rcb => crate::rcb::partition_rcb(mesh, nproc),
         PartitionMethod::MetisKway | PartitionMethod::MetisTv | PartitionMethod::MetisRb => {
-            let mut dg = mesh.dual_graph(opts.exchange);
-            if let Some(w) = &opts.weights {
-                if w.len() != k {
-                    return Err(PartitionError::BadWeights {
-                        reason: "weight vector length must equal element count",
-                    });
+            let g = {
+                let _span = cubesfc_obs::span("dualgraph");
+                let mut dg = mesh.dual_graph(opts.exchange);
+                if let Some(w) = &opts.weights {
+                    if w.len() != k {
+                        return Err(PartitionError::BadWeights {
+                            reason: "weight vector length must equal element count",
+                        });
+                    }
+                    // Scale to integer weights for the graph partitioner.
+                    dg.vwgt = w
+                        .iter()
+                        .map(|&x| (x.max(0.0) * 16.0).round() as u32 + 1)
+                        .collect();
                 }
-                // Scale to integer weights for the graph partitioner.
-                dg.vwgt = w.iter().map(|&x| (x.max(0.0) * 16.0).round() as u32 + 1).collect();
-            }
-            let g = to_csr(&dg);
+                to_csr(&dg)
+            };
             let cfg = PartitionConfig::new(nproc)
                 .with_seed(opts.graph_config.seed)
                 .with_ub_factor(opts.graph_config.ub_factor);
@@ -275,8 +287,10 @@ mod tests {
     #[test]
     fn weighted_options_flow_through() {
         let mesh = CubedSphere::new(4);
-        let mut opts = PartitionOptions::default();
-        opts.weights = Some(vec![1.0; 96]);
+        let mut opts = PartitionOptions {
+            weights: Some(vec![1.0; 96]),
+            ..Default::default()
+        };
         for m in [PartitionMethod::Sfc, PartitionMethod::MetisKway] {
             let p = partition(&mesh, m, 8, &opts).unwrap();
             assert_eq!(p.nparts(), 8);

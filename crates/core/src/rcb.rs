@@ -117,8 +117,8 @@ mod tests {
         for members in p.part_members() {
             let mut c = [0.0f64; 3];
             for &e in &members {
-                for a in 0..3 {
-                    c[a] += centers[e as usize].xyz[a];
+                for (cv, &x) in c.iter_mut().zip(&centers[e as usize].xyz) {
+                    *cv += x;
                 }
             }
             let norm = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();

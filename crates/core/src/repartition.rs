@@ -52,7 +52,7 @@ pub fn matched_migration(a: &Partition, b: &Partition) -> usize {
             }
         }
     }
-    pairs.sort_unstable_by(|x, y| y.0.cmp(&x.0));
+    pairs.sort_unstable_by_key(|&(o, _, _)| std::cmp::Reverse(o));
     let mut a_used = vec![false; ka];
     let mut b_mapped = vec![usize::MAX; kb];
     for (_, pa, pb) in pairs {

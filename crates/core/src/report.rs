@@ -41,7 +41,11 @@ impl PartitionReport {
         machine: &MachineModel,
         cost: &CostModel,
     ) -> PartitionReport {
-        let g = to_csr(&mesh.dual_graph(Default::default()));
+        let _span = cubesfc_obs::span("report");
+        let g = {
+            let _span = cubesfc_obs::span("dualgraph");
+            to_csr(&mesh.dual_graph(Default::default()))
+        };
         let stats = partition_stats(&g, part);
         let perf = evaluate(&g, part, machine, cost);
         PartitionReport {
@@ -110,7 +114,7 @@ pub fn best_metis(
     let mut best: Option<PartitionReport> = None;
     for m in PartitionMethod::METIS {
         let r = PartitionReport::compute(mesh, m, nproc, machine, cost)?;
-        if best.as_ref().map_or(true, |b| r.time_us < b.time_us) {
+        if best.as_ref().is_none_or(|b| r.time_us < b.time_us) {
             best = Some(r);
         }
     }
@@ -126,8 +130,7 @@ mod tests {
         let mesh = CubedSphere::new(4);
         let machine = MachineModel::ncar_p690();
         let cost = CostModel::seam_climate();
-        let r =
-            PartitionReport::compute(&mesh, PartitionMethod::Sfc, 16, &machine, &cost).unwrap();
+        let r = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 16, &machine, &cost).unwrap();
         assert_eq!(r.nproc, 16);
         assert_eq!(r.lb_nelemd, 0.0); // 96 / 16 = 6 exactly
         assert!(r.tcv_mbytes > 0.0);
@@ -140,8 +143,8 @@ mod tests {
         let mesh = CubedSphere::new(2);
         let machine = MachineModel::ncar_p690();
         let cost = CostModel::seam_climate();
-        let r = PartitionReport::compute(&mesh, PartitionMethod::MetisRb, 4, &machine, &cost)
-            .unwrap();
+        let r =
+            PartitionReport::compute(&mesh, PartitionMethod::MetisRb, 4, &machine, &cost).unwrap();
         let row = r.table_row();
         assert!(row.starts_with("RB"));
         assert!(PartitionReport::table_header().contains("LB(nelemd)"));

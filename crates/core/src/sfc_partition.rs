@@ -17,6 +17,7 @@ use cubesfc_mesh::GlobalCurve;
 /// `⌊K/nproc⌋` for the rest, so `LB(nelemd) = 0` exactly when
 /// `nproc | K`.
 pub fn partition_curve(curve: &GlobalCurve, nproc: usize) -> Result<Partition, PartitionError> {
+    let _span = cubesfc_obs::span("slice");
     let k = curve.len();
     if nproc == 0 {
         return Err(PartitionError::ZeroParts);
@@ -50,6 +51,7 @@ pub fn partition_curve_weighted(
     nproc: usize,
     weights: &[f64],
 ) -> Result<Partition, PartitionError> {
+    let _span = cubesfc_obs::span("slice");
     let k = curve.len();
     if nproc == 0 {
         return Err(PartitionError::ZeroParts);
@@ -178,7 +180,7 @@ mod tests {
     #[test]
     fn weighted_split_balances_weight_not_count() {
         let c = curve(2); // K = 24
-        // First half of the curve is 3× heavier.
+                          // First half of the curve is 3× heavier.
         let mut w = vec![1.0; 24];
         for rank in 0..12 {
             w[c.elem_at(rank).index()] = 3.0;
@@ -219,9 +221,9 @@ mod tests {
     #[test]
     fn weighted_error_cases() {
         let c = curve(2);
-        assert!(partition_curve_weighted(&c, 2, &vec![1.0; 5]).is_err());
-        assert!(partition_curve_weighted(&c, 2, &vec![0.0; 24]).is_err());
-        assert!(partition_curve_weighted(&c, 2, &vec![-1.0; 24]).is_err());
+        assert!(partition_curve_weighted(&c, 2, &[1.0; 5]).is_err());
+        assert!(partition_curve_weighted(&c, 2, &[0.0; 24]).is_err());
+        assert!(partition_curve_weighted(&c, 2, &[-1.0; 24]).is_err());
         let mut w = vec![1.0; 24];
         w[3] = f64::NAN;
         assert!(partition_curve_weighted(&c, 2, &w).is_err());

@@ -116,11 +116,7 @@ fn hsv_to_rgb(h: f64, s: f64, v: f64) -> [u8; 3] {
 
 /// Render a partition as a binary PPM (P6) image of the cube net, `scale`
 /// pixels per element. Background is white; parts are colored.
-pub fn render_partition_ppm(
-    mesh: &CubedSphere,
-    partition: &Partition,
-    scale: usize,
-) -> Vec<u8> {
+pub fn render_partition_ppm(mesh: &CubedSphere, partition: &Partition, scale: usize) -> Vec<u8> {
     let ne = mesh.ne();
     assert!(scale >= 1, "scale must be positive");
     assert_eq!(partition.len(), mesh.num_elems(), "partition/mesh mismatch");
@@ -157,7 +153,7 @@ mod tests {
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 6); // 3 bands × ne
         assert!(lines.iter().all(|l| l.chars().count() == 8)); // 4 × ne
-        // 24 element cells, 24 background cells.
+                                                               // 24 element cells, 24 background cells.
         let filled = art.chars().filter(|c| *c != '.' && *c != '\n').count();
         assert_eq!(filled, 24);
     }

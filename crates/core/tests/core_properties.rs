@@ -1,8 +1,8 @@
 //! Property-based tests for the top-level partitioning API.
 
 use cubesfc::{
-    matched_migration, partition_curve, partition_curve_weighted, partition_default,
-    CubedSphere, PartitionMethod,
+    matched_migration, partition_curve, partition_curve_weighted, partition_default, CubedSphere,
+    PartitionMethod,
 };
 use proptest::prelude::*;
 

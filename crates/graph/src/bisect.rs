@@ -55,6 +55,7 @@ pub fn multilevel_bisect(
 /// possible (`⌊k/2⌋` vs `⌈k/2⌉`) with the part-0 weight fraction matching
 /// the part-count split, so non-power-of-two part counts are handled.
 pub fn recursive_bisection(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
+    let _span = cubesfc_obs::span("rb");
     assert!(cfg.nparts >= 1, "nparts must be positive");
     let mut assign = vec![0u32; g.nv()];
     let mut rng = SplitMix64::new(cfg.seed);
@@ -196,12 +197,7 @@ mod tests {
     fn multilevel_bisect_large_ring() {
         // 512-vertex ring: forces several coarsening levels; best cut is 2.
         let lists: Vec<Vec<(u32, u32)>> = (0..512)
-            .map(|v| {
-                vec![
-                    (((v + 511) % 512) as u32, 1),
-                    (((v + 1) % 512) as u32, 1),
-                ]
-            })
+            .map(|v| vec![(((v + 511) % 512) as u32, 1), (((v + 1) % 512) as u32, 1)])
             .collect();
         let g = CsrGraph::from_lists(&lists).unwrap();
         let cfg = PartitionConfig::new(2);

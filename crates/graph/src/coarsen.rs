@@ -31,7 +31,7 @@ pub fn heavy_edge_matching(g: &CsrGraph, rng: &mut SplitMix64) -> Vec<u32> {
         }
         let mut best: Option<(u32, usize)> = None; // (weight, neighbor)
         for (n, w) in g.neighbors(v) {
-            if !matched[n] && best.map_or(true, |(bw, _)| w > bw) {
+            if !matched[n] && best.is_none_or(|(bw, _)| w > bw) {
                 best = Some((w, n));
             }
         }
@@ -112,14 +112,21 @@ pub fn contract(g: &CsrGraph, mate: &[u32]) -> CoarseLevel {
 /// graph stops shrinking. Returns the hierarchy, coarsest last; empty if
 /// the input is already small enough.
 pub fn coarsen(g: &CsrGraph, coarsen_to: usize, rng: &mut SplitMix64) -> Vec<CoarseLevel> {
+    let _span = cubesfc_obs::span("coarsen");
     let mut levels: Vec<CoarseLevel> = Vec::new();
     loop {
         let current = levels.last().map(|l| &l.graph).unwrap_or(g);
         if current.nv() <= coarsen_to {
             break;
         }
-        let mate = heavy_edge_matching(current, rng);
-        let level = contract(current, &mate);
+        let mate = {
+            let _span = cubesfc_obs::span("match");
+            heavy_edge_matching(current, rng)
+        };
+        let level = {
+            let _span = cubesfc_obs::span("contract");
+            contract(current, &mate)
+        };
         // Insufficient shrinkage (graph too star-like to match): stop.
         if level.graph.nv() as f64 > current.nv() as f64 * 0.95 {
             break;
@@ -136,12 +143,7 @@ mod tests {
     /// Ring of n vertices, unit weights.
     fn ring(n: usize) -> CsrGraph {
         let lists: Vec<Vec<(u32, u32)>> = (0..n)
-            .map(|v| {
-                vec![
-                    (((v + n - 1) % n) as u32, 1),
-                    (((v + 1) % n) as u32, 1),
-                ]
-            })
+            .map(|v| vec![(((v + n - 1) % n) as u32, 1), (((v + 1) % n) as u32, 1)])
             .collect();
         CsrGraph::from_lists(&lists).unwrap()
     }
@@ -228,7 +230,7 @@ mod tests {
     }
 
     #[test]
-    fn cmap_is_total_and_in_range(){
+    fn cmap_is_total_and_in_range() {
         let g = ring(30);
         let mut rng = SplitMix64::new(9);
         let mate = heavy_edge_matching(&g, &mut rng);

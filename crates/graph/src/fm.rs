@@ -76,12 +76,8 @@ fn gain_of(g: &CsrGraph, parts: &[u32], v: usize) -> i64 {
 /// no worse (in cut, then balance distance) than the input *unless* the
 /// input violated the caps, in which case the balance is restored first
 /// at whatever cut cost is needed.
-pub fn fm_refine(
-    g: &CsrGraph,
-    parts: &mut [u32],
-    targets: &BisectTargets,
-    passes: usize,
-) -> u64 {
+pub fn fm_refine(g: &CsrGraph, parts: &mut [u32], targets: &BisectTargets, passes: usize) -> u64 {
+    let _span = cubesfc_obs::span("fm");
     debug_assert_eq!(parts.len(), g.nv());
     let mut weights = [0u64; 2];
     for (v, &p) in parts.iter().enumerate() {
@@ -110,7 +106,7 @@ fn rebalance(g: &CsrGraph, parts: &mut [u32], weights: &mut [u64; 2], t: &Bisect
                     continue;
                 }
                 let gain = gain_of(g, parts, v);
-                if best.map_or(true, |(bg, _)| gain > bg) {
+                if best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, v));
                 }
             }
@@ -123,12 +119,7 @@ fn rebalance(g: &CsrGraph, parts: &mut [u32], weights: &mut [u64; 2], t: &Bisect
 }
 
 /// One FM pass. Returns whether the pass improved (cut, balance).
-fn fm_pass(
-    g: &CsrGraph,
-    parts: &mut [u32],
-    weights: &mut [u64; 2],
-    t: &BisectTargets,
-) -> bool {
+fn fm_pass(g: &CsrGraph, parts: &mut [u32], weights: &mut [u64; 2], t: &BisectTargets) -> bool {
     let nv = g.nv();
     let mut gain: Vec<i64> = (0..nv).map(|v| gain_of(g, parts, v)).collect();
     let mut locked = vec![false; nv];

@@ -18,10 +18,10 @@ fn grow_from(g: &CsrGraph, seed: usize, t0: u64) -> Vec<u32> {
     let mut frontier: Vec<u32> = Vec::new();
 
     let absorb = |v: usize,
-                      parts: &mut Vec<u32>,
-                      frontier: &mut Vec<u32>,
-                      in_frontier: &mut Vec<bool>,
-                      w0: &mut u64| {
+                  parts: &mut Vec<u32>,
+                  frontier: &mut Vec<u32>,
+                  in_frontier: &mut Vec<bool>,
+                  w0: &mut u64| {
         parts[v] = 0;
         *w0 += g.vwgt[v] as u64;
         for (n, _) in g.neighbors(v) {
@@ -50,7 +50,7 @@ fn grow_from(g: &CsrGraph, seed: usize, t0: u64) -> Vec<u32> {
                     gain -= w as i64;
                 }
             }
-            if best.map_or(true, |(bg, _, _)| gain > bg) {
+            if best.is_none_or(|(bg, _, _)| gain > bg) {
                 best = Some((gain, idx, v));
             }
         }
@@ -81,6 +81,7 @@ pub fn greedy_graph_growing(
     tries: usize,
     rng: &mut SplitMix64,
 ) -> Vec<u32> {
+    let _span = cubesfc_obs::span("initial");
     let nv = g.nv();
     assert!(nv > 0, "cannot bisect an empty graph");
     let mut best: Option<(u64, Vec<u32>)> = None;
@@ -88,7 +89,7 @@ pub fn greedy_graph_growing(
         let seed = rng.below(nv);
         let mut parts = grow_from(g, seed, targets.t0);
         let cut = fm_refine(g, &mut parts, targets, 2);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, parts));
         }
     }
@@ -148,13 +149,8 @@ mod tests {
     #[test]
     fn ggg_handles_disconnected_graphs() {
         // Two disjoint edges.
-        let g = CsrGraph::from_lists(&[
-            vec![(1, 1)],
-            vec![(0, 1)],
-            vec![(3, 1)],
-            vec![(2, 1)],
-        ])
-        .unwrap();
+        let g = CsrGraph::from_lists(&[vec![(1, 1)], vec![(0, 1)], vec![(3, 1)], vec![(2, 1)]])
+            .unwrap();
         let t = BisectTargets::with_ub(2, 2, 1.03, 1);
         let mut rng = SplitMix64::new(1);
         let parts = greedy_graph_growing(&g, &t, 2, &mut rng);

@@ -27,6 +27,7 @@ pub fn kway_refine(
     passes: usize,
     rng: &mut SplitMix64,
 ) -> usize {
+    let _span = cubesfc_obs::span("refine");
     let nv = g.nv();
     let mut weights = vec![0u64; nparts];
     for (v, &p) in parts.iter().enumerate() {
@@ -154,6 +155,7 @@ pub(crate) fn rebalance_kway(g: &CsrGraph, parts: &mut [u32], weights: &mut [u64
 /// initial partition by recursive bisection on the coarsest graph, then
 /// uncoarsens with greedy k-way refinement at every level.
 pub fn kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
+    let _span = cubesfc_obs::span("kway");
     assert!(cfg.nparts >= 1);
     if cfg.nparts == 1 {
         return Partition::new(1, vec![0; g.nv()]);

@@ -31,7 +31,10 @@ impl TryFrom<SerdePartition> for Partition {
             return Err("nparts must be positive".into());
         }
         if let Some(bad) = w.assign.iter().find(|&&p| p as usize >= w.nparts) {
-            return Err(format!("assignment {bad} out of range for {} parts", w.nparts));
+            return Err(format!(
+                "assignment {bad} out of range for {} parts",
+                w.nparts
+            ));
         }
         Ok(Partition {
             nparts: w.nparts,
@@ -128,7 +131,12 @@ impl Partition {
 
 impl fmt::Display for Partition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "partition of {} vertices into {}", self.len(), self.nparts)
+        write!(
+            f,
+            "partition of {} vertices into {}",
+            self.len(),
+            self.nparts
+        )
     }
 }
 

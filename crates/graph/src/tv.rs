@@ -130,11 +130,7 @@ pub fn volume_refine(
                 }
                 let d = volume_delta(g, parts, v, to);
                 let better = match best {
-                    None => {
-                        d < 0
-                            || (d == 0
-                                && weights[to as usize] + vw < weights[from])
-                    }
+                    None => d < 0 || (d == 0 && weights[to as usize] + vw < weights[from]),
                     Some((bd, bt)) => {
                         d < bd || (d == bd && weights[to as usize] < weights[bt as usize])
                     }
@@ -164,6 +160,7 @@ pub fn volume_refine(
 /// The TV driver: a K-way partition post-optimized for total
 /// communication volume.
 pub fn kway_volume(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
+    let _span = cubesfc_obs::span("tv");
     if cfg.nparts == 1 {
         return Partition::new(1, vec![0; g.nv()]);
     }
@@ -212,8 +209,7 @@ mod tests {
         let mut parts: Vec<u32> = (0..25).map(|_| rng.below(3) as u32).collect();
         for v in 0..25 {
             for to in 0..3u32 {
-                let before =
-                    metis_volume(&g, &Partition::new(3, parts.clone())) as i64;
+                let before = metis_volume(&g, &Partition::new(3, parts.clone())) as i64;
                 let d = volume_delta(&g, &parts, v, to);
                 let old = parts[v];
                 parts[v] = to;

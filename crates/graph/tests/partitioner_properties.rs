@@ -27,10 +27,8 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
                 adj[b].insert(a as u32, w);
             }
         }
-        let lists: Vec<Vec<(u32, u32)>> = adj
-            .into_iter()
-            .map(|m| m.into_iter().collect())
-            .collect();
+        let lists: Vec<Vec<(u32, u32)>> =
+            adj.into_iter().map(|m| m.into_iter().collect()).collect();
         CsrGraph::from_lists(&lists).unwrap()
     })
 }

@@ -95,11 +95,7 @@ pub fn build_dual_graph(topo: &Topology, w: ExchangeWeights) -> DualGraph {
 /// # Panics
 ///
 /// Panics if `vwgt.len() != K`.
-pub fn build_dual_graph_weighted(
-    topo: &Topology,
-    w: ExchangeWeights,
-    vwgt: Vec<u32>,
-) -> DualGraph {
+pub fn build_dual_graph_weighted(topo: &Topology, w: ExchangeWeights, vwgt: Vec<u32>) -> DualGraph {
     let k = topo.num_elems();
     assert_eq!(vwgt.len(), k, "vertex weight length mismatch");
 

@@ -135,10 +135,7 @@ pub fn faces_adjacent(a: FaceId, b: FaceId) -> bool {
 pub fn shared_cube_vertices(a: FaceId, b: FaceId, ne: i64) -> Vec<IVec3> {
     let va = face_cube_vertices(a, ne);
     let vb = face_cube_vertices(b, ne);
-    va.iter()
-        .filter(|p| vb.contains(p))
-        .copied()
-        .collect()
+    va.iter().filter(|p| vb.contains(p)).copied().collect()
 }
 
 #[cfg(test)]

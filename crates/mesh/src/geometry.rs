@@ -221,9 +221,15 @@ mod tests {
     fn triangle_octant_solid_angle() {
         // The spherical triangle with vertices on +x, +y, +z covers one
         // octant: 4π/8 = π/2 steradians.
-        let x = SpherePoint { xyz: [1.0, 0.0, 0.0] };
-        let y = SpherePoint { xyz: [0.0, 1.0, 0.0] };
-        let z = SpherePoint { xyz: [0.0, 0.0, 1.0] };
+        let x = SpherePoint {
+            xyz: [1.0, 0.0, 0.0],
+        };
+        let y = SpherePoint {
+            xyz: [0.0, 1.0, 0.0],
+        };
+        let z = SpherePoint {
+            xyz: [0.0, 0.0, 1.0],
+        };
         assert!((triangle_solid_angle(&x, &y, &z).abs() - PI / 2.0).abs() < 1e-12);
     }
 

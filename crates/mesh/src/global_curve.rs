@@ -61,6 +61,7 @@ impl GlobalCurve {
     /// length is the face size). Exposed so the ablation experiments can
     /// compare refinement orders (e.g. Hilbert-first vs Peano-first).
     pub fn build_with_schedule(schedule: &Schedule) -> GlobalCurve {
+        let _span = cubesfc_obs::span("global_curve");
         let ne = schedule.side();
         let canonical = SfcCurve::generate(schedule);
         let (corners, transforms) = plan_face_alignment(ne);
@@ -112,10 +113,7 @@ impl GlobalCurve {
     }
 
     fn trivial() -> GlobalCurve {
-        let order: Vec<ElemId> = FACE_ORDER
-            .iter()
-            .map(|f| make_eid(1, *f, 0, 0))
-            .collect();
+        let order: Vec<ElemId> = FACE_ORDER.iter().map(|f| make_eid(1, *f, 0, 0)).collect();
         let mut rank = vec![u32::MAX; 6];
         for (r, e) in order.iter().enumerate() {
             rank[e.index()] = r as u32;

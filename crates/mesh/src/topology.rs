@@ -412,8 +412,11 @@ mod tests {
         let k = t.num_elems();
         let edge_pairs: usize = t.elems().map(|_| 4).sum::<usize>() / 2;
         assert_eq!(edge_pairs, 2 * k);
-        let corner_pairs: usize =
-            t.elems().map(|e| t.corner_neighbors(e).len()).sum::<usize>() / 2;
+        let corner_pairs: usize = t
+            .elems()
+            .map(|e| t.corner_neighbors(e).len())
+            .sum::<usize>()
+            / 2;
         // Interior corner points: each face has (ne-1)² interior nodes with
         // 2 diagonal pairs each; cube-edge (non-vertex) points contribute 2
         // diagonal pairs each; cube vertices none.

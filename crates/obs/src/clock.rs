@@ -1,0 +1,100 @@
+//! Time sources for span measurement.
+//!
+//! Production code uses [`MonotonicClock`] (backed by `std::time::Instant`);
+//! tests inject [`MockClock`] so span durations are exact and no test ever
+//! sleeps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond counter. Implementations must be thread-safe;
+/// only differences between readings are meaningful.
+pub trait Clock: Send + Sync {
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock monotonic time, measured from the clock's creation.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturating: a u64 of nanoseconds covers ~584 years of uptime.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A manually advanced clock for deterministic tests.
+pub struct MockClock {
+    now: AtomicU64,
+}
+
+impl MockClock {
+    pub fn new() -> MockClock {
+        MockClock {
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance the clock by `delta_ns` nanoseconds.
+    pub fn advance(&self, delta_ns: u64) {
+        self.now.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Set the absolute reading (must not move backwards in real usage,
+    /// but the clock does not enforce it).
+    pub fn set(&self, now_ns: u64) {
+        self.now.store(now_ns, Ordering::SeqCst);
+    }
+}
+
+impl Default for MockClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_advances_exactly() {
+        let c = MockClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 300);
+        c.set(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+    }
+}

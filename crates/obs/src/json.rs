@@ -1,0 +1,278 @@
+//! Hand-rolled JSON serialization for [`Snapshot`] (no serde: this crate
+//! must build with no registry access).
+//!
+//! The schema is stable and versioned via the top-level `"schema"` key so
+//! downstream tooling (`BENCH_*.json` consumers, `perf_snapshot` diffing)
+//! can rely on it:
+//!
+//! ```json
+//! {
+//!   "schema": "cubesfc-profile-v1",
+//!   "timers":     { "<path>": { "count": u, "total_ns": u, "min_ns": u,
+//!                               "max_ns": u, "mean_ns": u } },
+//!   "counters":   { "<name>": u },
+//!   "histograms": { "<name>": { "count": u, "sum": u, "mean": u,
+//!                               "buckets": [ { "lo": u, "hi": u, "count": u } ] } }
+//! }
+//! ```
+//!
+//! Keys are emitted in `BTreeMap` order, so output is byte-stable for a
+//! given snapshot. All numbers are unsigned integers (no floats, so no
+//! formatting ambiguity).
+
+use crate::snapshot::Snapshot;
+
+/// Version tag written to every profile document.
+pub const SCHEMA: &str = "cubesfc-profile-v1";
+
+/// Escape a string for use inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_key(out: &mut String, key: &str) {
+    out.push('"');
+    out.push_str(&escape(key));
+    out.push_str("\":");
+}
+
+impl Snapshot {
+    /// Serialize to a compact single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_key(&mut out, "schema");
+        out.push('"');
+        out.push_str(SCHEMA);
+        out.push('"');
+
+        out.push(',');
+        push_key(&mut out, "timers");
+        out.push('{');
+        for (i, (path, t)) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, path);
+            out.push_str(&format!(
+                "{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+                t.count,
+                t.total_ns,
+                t.min_ns,
+                t.max_ns,
+                t.mean_ns()
+            ));
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(&mut out, "counters");
+        out.push('{');
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, name);
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+
+        out.push(',');
+        push_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, name);
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"lo\":{},\"hi\":{},\"count\":{}}}",
+                    b.lo, b.hi, b.count
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Bucket, HistogramSnapshot, SpanStat};
+
+    /// Minimal structural JSON validator: checks that the document is one
+    /// well-formed JSON value (objects, arrays, strings, unsigned ints).
+    fn validate(s: &str) -> Result<(), String> {
+        let bytes = s.as_bytes();
+        let mut i = 0usize;
+        fn skip_ws(bytes: &[u8], i: &mut usize) {
+            while *i < bytes.len() && (bytes[*i] as char).is_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(bytes: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(bytes, i);
+            match bytes.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    skip_ws(bytes, i);
+                    if bytes.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        string(bytes, i)?;
+                        skip_ws(bytes, i);
+                        if bytes.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i:?}"));
+                        }
+                        *i += 1;
+                        value(bytes, i)?;
+                        skip_ws(bytes, i);
+                        match bytes.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    skip_ws(bytes, i);
+                    if bytes.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(bytes, i)?;
+                        skip_ws(bytes, i);
+                        match bytes.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            other => return Err(format!("expected ',' or ']', got {other:?}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(bytes, i),
+                Some(c) if c.is_ascii_digit() => {
+                    while matches!(bytes.get(*i), Some(c) if c.is_ascii_digit()) {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?} at {i:?}")),
+            }
+        }
+        fn string(bytes: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(bytes, i);
+            if bytes.get(*i) != Some(&b'"') {
+                return Err(format!("expected '\"' at {i:?}"));
+            }
+            *i += 1;
+            while let Some(&c) = bytes.get(*i) {
+                match c {
+                    b'\\' => *i += 2,
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        value(bytes, &mut i)?;
+        skip_ws(bytes, &mut i);
+        if i != bytes.len() {
+            return Err(format!("trailing garbage at byte {i}"));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_with_schema() {
+        let json = Snapshot::default().to_json();
+        validate(&json).unwrap();
+        assert!(json.starts_with("{\"schema\":\"cubesfc-profile-v1\""));
+        assert!(json.contains("\"timers\":{}"));
+        assert!(json.contains("\"counters\":{}"));
+        assert!(json.contains("\"histograms\":{}"));
+    }
+
+    #[test]
+    fn populated_snapshot_round_trips_structurally() {
+        let mut snap = Snapshot::default();
+        let mut stat = SpanStat::new();
+        stat.record(100);
+        stat.record(300);
+        snap.timers.insert("partition/coarsen".into(), stat);
+        snap.counters.insert("dss/bytes".into(), 4096);
+        snap.histograms.insert(
+            "msg_size".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 3072,
+                buckets: vec![Bucket {
+                    lo: 1024,
+                    hi: 2047,
+                    count: 2,
+                }],
+            },
+        );
+        let json = snap.to_json();
+        validate(&json).unwrap();
+        assert!(json.contains("\"partition/coarsen\":{\"count\":2,\"total_ns\":400"));
+        assert!(json.contains("\"dss/bytes\":4096"));
+        assert!(json.contains("\"buckets\":[{\"lo\":1024,\"hi\":2047,\"count\":2}]"));
+    }
+
+    #[test]
+    fn output_is_deterministic_and_sorted() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("zeta".into(), 1);
+        snap.counters.insert("alpha".into(), 2);
+        let a = snap.to_json();
+        let b = snap.to_json();
+        assert_eq!(a, b);
+        assert!(a.find("alpha").unwrap() < a.find("zeta").unwrap());
+    }
+}

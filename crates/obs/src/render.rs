@@ -1,0 +1,172 @@
+//! Human-readable profile rendering: a hierarchical span tree (paths are
+//! slash-joined, e.g. `partition/coarsen/match`) plus counter and
+//! histogram tables.
+
+use crate::snapshot::{Snapshot, SpanStat};
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct Node {
+    stat: Option<SpanStat>,
+    children: BTreeMap<String, Node>,
+}
+
+fn insert(root: &mut Node, path: &str, stat: SpanStat) {
+    let mut node = root;
+    for seg in path.split('/') {
+        node = node.children.entry(seg.to_string()).or_default();
+    }
+    node.stat = Some(stat);
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+fn render_node(out: &mut String, name: &str, node: &Node, depth: usize, parent_total_ns: u64) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{name}");
+    match node.stat {
+        Some(s) => {
+            let share = if parent_total_ns > 0 {
+                format!(
+                    "{:5.1}%",
+                    100.0 * s.total_ns as f64 / parent_total_ns as f64
+                )
+            } else {
+                "     -".to_string()
+            };
+            out.push_str(&format!(
+                "{label:<34} {:>7} {:>12.3} {:>10.3} {:>10.3} {:>10.3} {share}\n",
+                s.count,
+                ms(s.total_ns),
+                ms(s.mean_ns()),
+                ms(s.min_ns),
+                ms(s.max_ns),
+            ));
+        }
+        // Interior path with no samples of its own (possible when only
+        // deeper spans fired on this thread).
+        None => out.push_str(&format!("{label}\n")),
+    }
+    let own_total = node.stat.map(|s| s.total_ns).unwrap_or(parent_total_ns);
+    for (child_name, child) in &node.children {
+        render_node(out, child_name, child, depth + 1, own_total);
+    }
+}
+
+impl Snapshot {
+    /// Render the snapshot as an indented profile report. Spans nest by
+    /// their slash-joined path; `of-parent` is each span's share of its
+    /// parent's total time.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("profile: no samples recorded (is profiling enabled?)\n");
+            return out;
+        }
+
+        if !self.timers.is_empty() {
+            out.push_str(&format!(
+                "{:<34} {:>7} {:>12} {:>10} {:>10} {:>10} {}\n",
+                "span", "count", "total(ms)", "mean(ms)", "min(ms)", "max(ms)", "of-parent"
+            ));
+            let mut root = Node::default();
+            for (path, stat) in &self.timers {
+                insert(&mut root, path, *stat);
+            }
+            for (name, node) in &root.children {
+                render_node(&mut out, name, node, 0, 0);
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<40} {value:>16}\n"));
+            }
+        }
+
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms (log2 buckets)\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<40} count={} mean={}\n",
+                    h.count,
+                    h.mean()
+                ));
+                for b in &h.buckets {
+                    out.push_str(&format!(
+                        "    [{:>12}, {:>12}] {:>10}\n",
+                        b.lo, b.hi, b.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Bucket, HistogramSnapshot};
+
+    fn stat(count: u64, total: u64) -> SpanStat {
+        let mut s = SpanStat::new();
+        for _ in 0..count {
+            s.record(total / count);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let text = Snapshot::default().render_table();
+        assert!(text.contains("no samples"));
+    }
+
+    #[test]
+    fn tree_indents_children_under_parents() {
+        let mut snap = Snapshot::default();
+        snap.timers.insert("partition".into(), stat(1, 10_000_000));
+        snap.timers
+            .insert("partition/coarsen".into(), stat(4, 8_000_000));
+        snap.timers
+            .insert("partition/coarsen/match".into(), stat(4, 2_000_000));
+        let text = snap.render_table();
+        let lines: Vec<&str> = text.lines().collect();
+        let p = lines
+            .iter()
+            .position(|l| l.starts_with("partition "))
+            .unwrap();
+        assert!(lines[p + 1].starts_with("  coarsen"));
+        assert!(lines[p + 2].starts_with("    match"));
+        // coarsen is 80% of partition's 10ms.
+        assert!(lines[p + 1].contains("80.0%"), "line: {}", lines[p + 1]);
+        // match is 25% of coarsen's 8ms.
+        assert!(lines[p + 2].contains("25.0%"), "line: {}", lines[p + 2]);
+    }
+
+    #[test]
+    fn counters_and_histograms_render() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("dss/bytes_exchanged".into(), 12345);
+        snap.histograms.insert(
+            "msg".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 2048,
+                buckets: vec![Bucket {
+                    lo: 2048,
+                    hi: 4095,
+                    count: 1,
+                }],
+            },
+        );
+        let text = snap.render_table();
+        assert!(text.contains("dss/bytes_exchanged"));
+        assert!(text.contains("12345"));
+        assert!(text.contains("count=1 mean=2048"));
+    }
+}

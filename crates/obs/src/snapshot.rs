@@ -1,0 +1,152 @@
+//! Point-in-time views of a registry's merged metrics.
+//!
+//! All maps are `BTreeMap` so iteration order — and therefore every
+//! exporter's output — is stable across runs and shard merge orders.
+
+use std::collections::BTreeMap;
+
+/// Aggregate statistics for one span path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    pub(crate) fn new() -> SpanStat {
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, elapsed_ns: u64) {
+        self.count += 1;
+        self.total_ns += elapsed_ns;
+        self.min_ns = self.min_ns.min(elapsed_ns);
+        self.max_ns = self.max_ns.max(elapsed_ns);
+    }
+
+    pub(crate) fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean duration in nanoseconds (0 when no samples).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One occupied bucket of a log2 histogram: values in `lo..=hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bucket {
+    pub lo: u64,
+    pub hi: u64,
+    pub count: u64,
+}
+
+/// Merged view of a log2-bucket histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Occupied buckets only, in increasing value order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Bucket index for a log2 histogram: 0 holds value 0, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)` (the last bucket is clipped to u64).
+pub(crate) const HIST_BUCKETS: usize = 65;
+
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The `lo..=hi` value range covered by bucket `i`.
+pub(crate) fn bucket_range(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+/// A merged, immutable view of every shard of a registry at one moment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub timers: BTreeMap<String, SpanStat>,
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stat_tracks_extremes_and_mean() {
+        let mut s = SpanStat::new();
+        s.record(10);
+        s.record(30);
+        s.record(20);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn span_stat_merge_combines_shards() {
+        let mut a = SpanStat::new();
+        a.record(5);
+        let mut b = SpanStat::new();
+        b.record(100);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 112);
+        assert_eq!(a.min_ns, 5);
+        assert_eq!(a.max_ns, 100);
+    }
+
+    #[test]
+    fn log2_bucketing_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+    }
+}

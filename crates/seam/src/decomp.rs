@@ -51,16 +51,15 @@ impl Decomposition {
 
         let mut elems_of_rank: Vec<Vec<u32>> = vec![Vec::new(); nranks];
         let mut rank_of_elem = vec![0u32; nel];
-        for e in 0..nel {
+        for (e, re) in rank_of_elem.iter_mut().enumerate() {
             let r = partition.part_of(e);
             elems_of_rank[r].push(e as u32);
-            rank_of_elem[e] = r as u32;
+            *re = r as u32;
         }
 
         // Which ranks touch each dof.
         let mut ranks_of_dof: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
-        for e in 0..nel {
-            let r = rank_of_elem[e];
+        for (e, &r) in rank_of_elem.iter().enumerate() {
             for &id in dofs.ids(e) {
                 ranks_of_dof.entry(id).or_default().insert(r);
             }
@@ -89,10 +88,7 @@ impl Decomposition {
             for &d in &plans[r].shared_dofs {
                 for &other in &ranks_of_dof[&d] {
                     if other as usize != r {
-                        by_nbr
-                            .entry(other)
-                            .or_default()
-                            .push(index_of[r][&d]);
+                        by_nbr.entry(other).or_default().push(index_of[r][&d]);
                     }
                 }
             }
@@ -128,9 +124,7 @@ mod tests {
         let dofs = GlobalDofs::build(&topo, n);
         let k = topo.num_elems();
         // Block partition along element ids.
-        let assign: Vec<u32> = (0..k)
-            .map(|e| ((e * nparts) / k) as u32)
-            .collect();
+        let assign: Vec<u32> = (0..k).map(|e| ((e * nparts) / k) as u32).collect();
         (dofs, Partition::new(nparts, assign))
     }
 

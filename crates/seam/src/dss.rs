@@ -51,7 +51,7 @@ impl GlobalDofs {
 
         // Corner nodes: identified by exact cube coordinates.
         let mut corner_ids: HashMap<cubesfc_mesh::IVec3, u32> = HashMap::new();
-        for e in 0..nel {
+        for (e, ids_e) in ids.iter_mut().enumerate() {
             let (face, i, j) = split_eid(ne, ElemId(e as u32));
             for (ci, cj, a, b) in [
                 (0i64, 0i64, 0usize, 0usize),
@@ -65,7 +65,7 @@ impl GlobalDofs {
                     next += 1;
                     id
                 });
-                ids[e][b * n + a] = id;
+                ids_e[b * n + a] = id;
             }
         }
 
@@ -151,6 +151,9 @@ pub struct Assembler {
     /// Scratch numerator, `ndofs × nlev`.
     num: Vec<f64>,
     nlev: usize,
+    /// Shared-dof copies beyond the first (Σ multiplicity − ndofs): the
+    /// per-level volume of values that cross an element boundary in DSS.
+    shared_copies: u64,
 }
 
 impl Assembler {
@@ -164,11 +167,13 @@ impl Assembler {
             }
         }
         let nd = dofs.ndofs();
+        let touches: u64 = mass.iter().map(|m| m.len() as u64).sum();
         Assembler {
             dofs,
             assembled_mass: am,
             num: vec![0.0; nd * nlev],
             nlev,
+            shared_copies: touches - nd as u64,
         }
     }
 
@@ -184,6 +189,14 @@ impl Assembler {
 
     /// Apply DSS in place to `field` with node masses `mass`.
     pub fn dss(&mut self, field: &mut Field, mass: &[Vec<f64>]) {
+        let _span = cubesfc_obs::span("dss");
+        cubesfc_obs::counter_add("dss/calls", 1);
+        // 8 bytes per shared f64 copy per level: the exchange volume a
+        // distributed DSS would put on the wire.
+        cubesfc_obs::counter_add(
+            "dss/bytes_exchanged",
+            self.shared_copies * self.nlev as u64 * 8,
+        );
         let n = self.dofs.n;
         let npts = n * n;
         let nlev = self.nlev;
@@ -205,8 +218,7 @@ impl Assembler {
             for lev in 0..nlev {
                 let slab = &mut data[lev * npts..(lev + 1) * npts];
                 for (k, &id) in ids.iter().enumerate() {
-                    slab[k] =
-                        self.num[id as usize * nlev + lev] / self.assembled_mass[id as usize];
+                    slab[k] = self.num[id as usize * nlev + lev] / self.assembled_mass[id as usize];
                 }
             }
         }
@@ -386,12 +398,7 @@ mod tests {
             f.data
                 .iter()
                 .enumerate()
-                .map(|(e, d)| {
-                    d.iter()
-                        .zip(&mass[e])
-                        .map(|(q, m)| q * m)
-                        .sum::<f64>()
-                })
+                .map(|(e, d)| d.iter().zip(&mass[e]).map(|(q, m)| q * m).sum::<f64>())
                 .sum()
         };
         let before = integral(&field);

@@ -67,13 +67,9 @@ impl GllBasis {
     pub fn differentiate(&self, u: &[f64], out: &mut [f64]) {
         debug_assert_eq!(u.len(), self.n);
         debug_assert_eq!(out.len(), self.n);
-        for i in 0..self.n {
-            let mut s = 0.0;
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.d[i * self.n..(i + 1) * self.n];
-            for (dv, uv) in row.iter().zip(u) {
-                s += dv * uv;
-            }
-            out[i] = s;
+            *o = row.iter().zip(u).map(|(dv, uv)| dv * uv).sum();
         }
     }
 

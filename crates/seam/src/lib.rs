@@ -56,6 +56,6 @@ pub use output::{locate_element, sample_point, to_latlon};
 pub use perfmodel::{evaluate, PerfReport};
 pub use rankmap::{greedy_node_packing, internode_traffic_fraction, RankMap};
 pub use shallow_water::{tc2_initial, SwConfig, SwSolver};
-pub use sw_parallel::run_sw_parallel;
 pub use solver::{gaussian_blob, AdvectionConfig, SerialSolver};
+pub use sw_parallel::run_sw_parallel;
 pub use vranks::{run_parallel, RunStats};

@@ -204,12 +204,8 @@ mod tests {
         for f in 0..6u8 {
             for j in 0..ne {
                 for i in 0..ne {
-                    let g = elem_geometry(
-                        ne,
-                        make_eid(ne, FaceId(f), i, j),
-                        &basis,
-                        [0.0, 0.0, 1.0],
-                    );
+                    let g =
+                        elem_geometry(ne, make_eid(ne, FaceId(f), i, j), &basis, [0.0, 0.0, 1.0]);
                     total += g.mass.iter().sum::<f64>();
                 }
             }

@@ -29,11 +29,7 @@ pub fn locate_face(p: [f64; 3]) -> (FaceId, f64, f64) {
     // Scale so the normal component is exactly 1, then project on the
     // face frame.
     let f = FaceFrame::of(face, 1);
-    let n = [
-        f.origin[0] as f64,
-        f.origin[1] as f64,
-        f.origin[2] as f64,
-    ];
+    let n = [f.origin[0] as f64, f.origin[1] as f64, f.origin[2] as f64];
     let dot_n = p[0] * n[0] + p[1] * n[1] + p[2] * n[2];
     let q = [p[0] / dot_n, p[1] / dot_n, p[2] / dot_n];
     let u = [f.u[0] as f64, f.u[1] as f64, f.u[2] as f64];
@@ -54,7 +50,11 @@ pub fn locate_element(ne: usize, p: [f64; 3]) -> (ElemId, f64, f64) {
     let j = fj as usize;
     let r = (x1 - (-1.0 + fi * h)) / h * 2.0 - 1.0;
     let s = (x2 - (-1.0 + fj * h)) / h * 2.0 - 1.0;
-    (make_eid(ne, face, i, j), r.clamp(-1.0, 1.0), s.clamp(-1.0, 1.0))
+    (
+        make_eid(ne, face, i, j),
+        r.clamp(-1.0, 1.0),
+        s.clamp(-1.0, 1.0),
+    )
 }
 
 /// Lagrange basis values at `x` over the GLL nodes (barycentric form).
@@ -71,13 +71,13 @@ fn lagrange_values(basis: &GllBasis, x: f64, out: &mut [f64]) {
     // Barycentric weights (recomputed — n is tiny and this is output-path
     // code; hoist if it ever shows up in profiles).
     let mut bw = vec![1.0f64; n];
-    for i in 0..n {
+    for (i, w) in bw.iter_mut().enumerate() {
         for j in 0..n {
             if i != j {
-                bw[i] *= basis.nodes[i] - basis.nodes[j];
+                *w *= basis.nodes[i] - basis.nodes[j];
             }
         }
-        bw[i] = 1.0 / bw[i];
+        *w = 1.0 / *w;
     }
     let mut denom = 0.0;
     for i in 0..n {
@@ -90,13 +90,7 @@ fn lagrange_values(basis: &GllBasis, x: f64, out: &mut [f64]) {
 }
 
 /// Evaluate `field` (level `lev`) at an arbitrary sphere point.
-pub fn sample_point(
-    ne: usize,
-    basis: &GllBasis,
-    field: &Field,
-    lev: usize,
-    p: [f64; 3],
-) -> f64 {
+pub fn sample_point(ne: usize, basis: &GllBasis, field: &Field, lev: usize, p: [f64; 3]) -> f64 {
     let (eid, r, s) = locate_element(ne, p);
     let n = basis.n;
     let mut lr = vec![0.0; n];
@@ -130,16 +124,11 @@ pub fn to_latlon(
     assert!(nlat >= 2 && nlon >= 1, "degenerate grid");
     let mut out = vec![vec![0.0; nlon]; nlat];
     for (jj, row) in out.iter_mut().enumerate() {
-        let lat = -std::f64::consts::FRAC_PI_2
-            + std::f64::consts::PI * jj as f64 / (nlat - 1) as f64;
+        let lat =
+            -std::f64::consts::FRAC_PI_2 + std::f64::consts::PI * jj as f64 / (nlat - 1) as f64;
         for (ii, val) in row.iter_mut().enumerate() {
-            let lon = -std::f64::consts::PI
-                + 2.0 * std::f64::consts::PI * ii as f64 / nlon as f64;
-            let p = [
-                lat.cos() * lon.cos(),
-                lat.cos() * lon.sin(),
-                lat.sin(),
-            ];
+            let lon = -std::f64::consts::PI + 2.0 * std::f64::consts::PI * ii as f64 / nlon as f64;
+            let p = [lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin()];
             *val = sample_point(ne, basis, field, lev, p);
         }
     }
@@ -218,8 +207,8 @@ mod tests {
         let mut field = Field::zeros(topo.num_elems(), np, 1);
         for (e, data) in field.data.iter_mut().enumerate() {
             let g = elem_geometry(ne, ElemId(e as u32), &basis, [0.0; 3]);
-            for k in 0..np * np {
-                data[k] = f(g.pos[k]);
+            for (d, &pos) in data.iter_mut().zip(&g.pos) {
+                *d = f(pos);
             }
         }
         for raw in [[0.23f64, 0.8, 0.1], [-0.4, 0.2, 0.88], [0.9, -0.1, -0.3]] {
@@ -268,6 +257,9 @@ mod tests {
         // Exact node hit: the matching basis function is 1.
         lagrange_values(&basis, basis.nodes[2], &mut l);
         assert!((l[2] - 1.0).abs() < 1e-15);
-        assert!(l.iter().enumerate().all(|(i, &v)| i == 2 || v.abs() < 1e-15));
+        assert!(l
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| i == 2 || v.abs() < 1e-15));
     }
 }

@@ -50,6 +50,7 @@ pub fn evaluate(
     machine: &MachineModel,
     cost: &CostModel,
 ) -> PerfReport {
+    let _span = cubesfc_obs::span("evaluate");
     let nproc = partition.nparts();
     let stats = partition_stats(graph, partition);
 
@@ -67,6 +68,9 @@ pub fn evaluate(
     let mut per_rank_comm = vec![0.0f64; nproc];
     for (from, to, points) in part_exchange_points(graph, partition) {
         let bytes = points as f64 * bytes_per_point_stage;
+        // Distribution of modelled per-neighbour message sizes: exposes
+        // whether a partition exchanges few large or many small messages.
+        cubesfc_obs::histogram_record("perfmodel/message_bytes", bytes as u64);
         let t = machine.message_time(from as usize, to as usize, bytes);
         per_rank_comm[from as usize] += cost.stages as f64 * t;
     }
@@ -81,6 +85,11 @@ pub fn evaluate(
     let serial_time = total_elems * fe / machine.sustained_flops;
     let total_flops = total_elems * fe;
 
+    // Modelled (single-direction) exchange volume, next to the measured
+    // dss/bytes_exchanged counter from the serial solver.
+    let tcv_bytes = stats.total_points as f64 / 2.0 * cost.bytes_per_point_per_stage();
+    cubesfc_obs::counter_add("perfmodel/tcv_bytes", tcv_bytes as u64);
+
     PerfReport {
         nproc,
         time_per_step,
@@ -89,7 +98,7 @@ pub fn evaluate(
         sustained_gflops: total_flops / time_per_step / 1.0e9,
         // The paper's TCV counts each exchanged point once (single
         // direction, single exchange): total_points sums both directions.
-        tcv_bytes: stats.total_points as f64 / 2.0 * cost.bytes_per_point_per_stage(),
+        tcv_bytes,
         per_rank_compute,
         per_rank_comm,
         stats,
@@ -138,7 +147,12 @@ mod tests {
     fn perfect_partition_on_zero_comm_machine_scales_linearly() {
         let g = sphere_graph(4);
         let p = sfc_partition(4, 8); // 96 elements, 12 each
-        let r = evaluate(&g, &p, &MachineModel::zero_comm(), &CostModel::seam_climate());
+        let r = evaluate(
+            &g,
+            &p,
+            &MachineModel::zero_comm(),
+            &CostModel::seam_climate(),
+        );
         assert!((r.speedup - 8.0).abs() < 1e-9, "speedup {}", r.speedup);
     }
 

@@ -110,14 +110,12 @@ pub fn greedy_node_packing(
         next_slot += 1;
         while node_members.len() < ppn && (next_slot as usize) < nranks {
             // Unplaced rank with max traffic into this node.
-            let best = (0..nranks)
-                .filter(|&r| !placed[r])
-                .max_by_key(|&r| {
-                    node_members
-                        .iter()
-                        .map(|&m| vol(r as u32, m as u32))
-                        .sum::<u64>()
-                });
+            let best = (0..nranks).filter(|&r| !placed[r]).max_by_key(|&r| {
+                node_members
+                    .iter()
+                    .map(|&m| vol(r as u32, m as u32))
+                    .sum::<u64>()
+            });
             let Some(r) = best else { break };
             placed[r] = true;
             slot_of[r] = next_slot;
@@ -136,12 +134,7 @@ mod tests {
     /// A ring dual graph where rank i talks to i±1 only.
     fn ring_setup(n: usize) -> (CsrGraph, Partition) {
         let lists: Vec<Vec<(u32, u32)>> = (0..n)
-            .map(|v| {
-                vec![
-                    (((v + n - 1) % n) as u32, 8),
-                    (((v + 1) % n) as u32, 8),
-                ]
-            })
+            .map(|v| vec![(((v + n - 1) % n) as u32, 8), (((v + 1) % n) as u32, 8)])
             .collect();
         let g = CsrGraph::from_lists(&lists).unwrap();
         let p = Partition::new(n, (0..n as u32).collect());
@@ -174,12 +167,7 @@ mod tests {
         // close to the identity-quality placement.
         let n = 32;
         let lists: Vec<Vec<(u32, u32)>> = (0..n)
-            .map(|v| {
-                vec![
-                    (((v + n - 1) % n) as u32, 8),
-                    (((v + 1) % n) as u32, 8),
-                ]
-            })
+            .map(|v| vec![(((v + n - 1) % n) as u32, 8), (((v + 1) % n) as u32, 8)])
             .collect();
         let g = CsrGraph::from_lists(&lists).unwrap();
         // Partition assignment: vertex v belongs to part perm[v].

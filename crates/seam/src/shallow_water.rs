@@ -47,8 +47,8 @@ impl SwConfig {
     pub fn test_case_2(ne: usize, np: usize) -> SwConfig {
         let omega = 1.0;
         let gravity = 1.0;
-        let h0 = 2.5; // background depth (see `tc2_initial`)
-        let wave_speed = (gravity * h0 as f64).sqrt() + 1.0; // + advective u0
+        let h0 = 2.5f64; // background depth (see `tc2_initial`)
+        let wave_speed = (gravity * h0).sqrt() + 1.0; // + advective u0
         let elem = std::f64::consts::FRAC_PI_2 / ne as f64;
         let min_dx = elem / ((np - 1) * (np - 1)) as f64;
         SwConfig {
@@ -353,8 +353,8 @@ impl SwSolver {
                 let vp = self.state.v[0][e][k] * p[0]
                     + self.state.v[1][e][k] * p[1]
                     + self.state.v[2][e][k] * p[2];
-                for c in 0..3 {
-                    self.state.v[c][e][k] -= vp * p[c];
+                for (vc, &pc) in self.state.v.iter_mut().zip(&p) {
+                    vc[e][k] -= vp * pc;
                 }
             }
         }
@@ -458,15 +458,13 @@ pub(crate) fn tensor_ds(basis: &GllBasis, u: &[f64], out: &mut [f64]) {
 /// `u0` is the equatorial wind speed; `h0` the background depth;
 /// `omega`/`gravity` must match the solver configuration. The exact
 /// solution is stationary, so any drift is numerical error.
+#[allow(clippy::type_complexity)]
 pub fn tc2_initial(
     u0: f64,
     h0: f64,
     omega: f64,
     gravity: f64,
-) -> (
-    impl Fn([f64; 3]) -> [f64; 3],
-    impl Fn([f64; 3]) -> f64,
-) {
+) -> (impl Fn([f64; 3]) -> [f64; 3], impl Fn([f64; 3]) -> f64) {
     let v_fn = move |p: [f64; 3]| {
         // Solid-body zonal wind: v = u0 (ẑ × p).
         [-u0 * p[1], u0 * p[0], 0.0]

@@ -153,6 +153,8 @@ impl SerialSolver {
 
     /// One SSP-RK3 step.
     pub fn step(&mut self) {
+        let _span = cubesfc_obs::span("step");
+        cubesfc_obs::counter_add("solver/steps", 1);
         let dt = self.cfg.dt;
         let q0 = self.q.clone();
 
@@ -192,12 +194,15 @@ impl SerialSolver {
             dfr: vec![0.0; npts],
             dfs: vec![0.0; npts],
         };
-        for (e, data) in q.data.iter().enumerate() {
-            let g = &self.geoms[e];
-            for lev in 0..self.cfg.nlev {
-                let slab = &data[lev * npts..(lev + 1) * npts];
-                let oslab = &mut out.data[e][lev * npts..(lev + 1) * npts];
-                rhs_kernel(&self.basis, g, slab, oslab, &mut ws);
+        {
+            let _span = cubesfc_obs::span("compute");
+            for (e, data) in q.data.iter().enumerate() {
+                let g = &self.geoms[e];
+                for lev in 0..self.cfg.nlev {
+                    let slab = &data[lev * npts..(lev + 1) * npts];
+                    let oslab = &mut out.data[e][lev * npts..(lev + 1) * npts];
+                    rhs_kernel(&self.basis, g, slab, oslab, &mut ws);
+                }
             }
         }
         self.assembler.dss(&mut out, &self.masses);
@@ -236,8 +241,8 @@ pub(crate) fn rhs_kernel(
     ws: &mut Workspace,
 ) {
     let n = basis.n;
-    for k in 0..n * n {
-        let f = g.jac[k] * q[k];
+    for (k, &qk) in q.iter().enumerate().take(n * n) {
+        let f = g.jac[k] * qk;
         ws.fr[k] = f * g.ur[k];
         ws.fs[k] = f * g.us[k];
     }
@@ -263,8 +268,8 @@ pub(crate) fn rhs_kernel(
             ws.dfs[i * n + a] = s;
         }
     }
-    for k in 0..n * n {
-        out[k] = -(ws.dfr[k] + ws.dfs[k]) / g.jac[k];
+    for (k, o) in out.iter_mut().enumerate().take(n * n) {
+        *o = -(ws.dfr[k] + ws.dfs[k]) / g.jac[k];
     }
 }
 
@@ -373,10 +378,7 @@ mod tests {
         let m0 = s.mass_integral();
         s.run(20);
         let m1 = s.mass_integral();
-        assert!(
-            (m1 - m0).abs() < 1e-2 * m0.abs(),
-            "mass drift {m0} -> {m1}"
-        );
+        assert!((m1 - m0).abs() < 1e-2 * m0.abs(), "mass drift {m0} -> {m1}");
         // Higher order: an order of magnitude tighter.
         let mut s = solver(3, 8, 1);
         s.set_initial(gaussian_blob([1.0, 0.0, 0.0], 0.5));

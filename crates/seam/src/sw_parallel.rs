@@ -18,6 +18,10 @@ use cubesfc_mesh::{ElemId, Topology};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// What each rank thread returns: its owned dof ids, the per-level nodal
+/// values, and its measured compute / wait seconds.
+type RankResult = (Vec<u32>, Vec<Vec<f64>>, f64, f64);
+
 /// Number of prognostic fields exchanged per stage.
 const NFIELDS: usize = 4;
 
@@ -73,12 +77,12 @@ where
 
     let wall_start = Instant::now();
     let npts = cfg.np * cfg.np;
-    let mut results: Vec<Option<(Vec<u32>, Vec<Vec<f64>>, f64, f64)>> = vec![None; nranks];
+    let mut results: Vec<Option<RankResult>> = vec![None; nranks];
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
-        for rank in 0..nranks {
-            let rx = receivers[rank].take().unwrap();
+        for (rank, recv) in receivers.iter_mut().enumerate() {
+            let rx = recv.take().unwrap();
             let senders = senders.clone();
             let decomp = &decomp;
             let dofs = &dofs;
@@ -205,8 +209,7 @@ where
         vec![vec![0.0; npts]; nl],
     ];
     for (slot, g) in geoms.iter().enumerate() {
-        for k in 0..npts {
-            let p = g.pos[k];
+        for (k, &p) in g.pos.iter().enumerate().take(npts) {
             let v = v_fn(p);
             let vp = v[0] * p[0] + v[1] * p[1] + v[2] * p[2];
             for c in 0..3 {
@@ -224,11 +227,11 @@ where
 
     // Shared DSS routine over all four fields at once.
     let dss_all = |fields: &mut [Vec<Vec<f64>>; NFIELDS],
-                       num: &mut Vec<f64>,
-                       seq: &mut u64,
-                       stash: &mut HashMap<(u64, u32), Vec<f64>>,
-                       t_compute: &mut f64,
-                       t_comm: &mut f64| {
+                   num: &mut Vec<f64>,
+                   seq: &mut u64,
+                   stash: &mut HashMap<(u64, u32), Vec<f64>>,
+                   t_compute: &mut f64,
+                   t_comm: &mut f64| {
         let t0 = Instant::now();
         num.iter_mut().for_each(|x| *x = 0.0);
         for (slot, acc) in acc_index.iter().enumerate() {
@@ -271,12 +274,7 @@ where
                 }
                 stash.insert((msg.seq, msg.from), msg.data);
             };
-            let idxs = &plan
-                .neighbors
-                .iter()
-                .find(|(r, _)| *r == from)
-                .unwrap()
-                .1;
+            let idxs = &plan.neighbors.iter().find(|(r, _)| *r == from).unwrap().1;
             for (j, &i) in idxs.iter().enumerate() {
                 let a = shared_acc[i as usize] as usize;
                 for f in 0..NFIELDS {
@@ -301,8 +299,7 @@ where
 
     let project_tangent = |fields: &mut [Vec<Vec<f64>>; NFIELDS], geoms: &[ElemGeometry]| {
         for (slot, g) in geoms.iter().enumerate() {
-            for k in 0..npts {
-                let p = g.pos[k];
+            for (k, &p) in g.pos.iter().enumerate().take(npts) {
                 let vp = fields[0][slot][k] * p[0]
                     + fields[1][slot][k] * p[1]
                     + fields[2][slot][k] * p[2];
@@ -337,11 +334,7 @@ where
         let mut vs = vec![0.0f64; npts];
         for (slot, g) in geoms.iter().enumerate() {
             for k in 0..npts {
-                let v = [
-                    fields[0][slot][k],
-                    fields[1][slot][k],
-                    fields[2][slot][k],
-                ];
+                let v = [fields[0][slot][k], fields[1][slot][k], fields[2][slot][k]];
                 vr[k] = v[0] * g.erd[k][0] + v[1] * g.erd[k][1] + v[2] * g.erd[k][2];
                 vs[k] = v[0] * g.esd[k][0] + v[1] * g.esd[k][1] + v[2] * g.esd[k][2];
             }
@@ -457,14 +450,8 @@ mod tests {
         serial.run(3);
 
         for nranks in [1usize, 2, 4, 6] {
-            let (par, stats) = run_sw_parallel(
-                &topo,
-                &block_partition(24, nranks),
-                cfg,
-                3,
-                &v0,
-                &h0,
-            );
+            let (par, stats) =
+                run_sw_parallel(&topo, &block_partition(24, nranks), cfg, 3, &v0, &h0);
             let diff = serial.state.max_abs_diff(&par);
             assert!(diff < 1e-12, "nranks={nranks}: deviates by {diff}");
             assert_eq!(stats.per_rank_comm.len(), nranks);

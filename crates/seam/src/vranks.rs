@@ -21,6 +21,10 @@ use cubesfc_mesh::{ElemId, Topology};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// What each rank thread returns: its owned dof ids, the per-level nodal
+/// values, and its measured compute / wait seconds.
+type RankResult = (Vec<u32>, Vec<Vec<f64>>, f64, f64);
+
 /// A halo message: partial DSS sums for the dofs shared between two ranks.
 struct Msg {
     from: u32,
@@ -84,12 +88,12 @@ where
     }
 
     let wall_start = Instant::now();
-    let mut results: Vec<Option<(Vec<u32>, Vec<Vec<f64>>, f64, f64)>> = vec![None; nranks];
+    let mut results: Vec<Option<RankResult>> = vec![None; nranks];
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nranks);
-        for rank in 0..nranks {
-            let rx = receivers[rank].take().unwrap();
+        for (rank, recv) in receivers.iter_mut().enumerate() {
+            let rx = recv.take().unwrap();
             let senders = senders.clone();
             let decomp = &decomp;
             let dofs = &dofs;
@@ -214,11 +218,7 @@ where
         }
         acc_index.push(loc);
     }
-    let shared_acc: Vec<u32> = plan
-        .shared_dofs
-        .iter()
-        .map(|d| acc_of_dof[d])
-        .collect();
+    let shared_acc: Vec<u32> = plan.shared_dofs.iter().map(|d| acc_of_dof[d]).collect();
 
     let nacc = acc_mass.len();
     let mut state = RankState {
@@ -335,6 +335,10 @@ impl RankState<'_> {
                 let a = self.shared_acc[i as usize] as usize;
                 buf.extend_from_slice(&self.num[a * nlev..(a + 1) * nlev]);
             }
+            let bytes = (buf.len() * std::mem::size_of::<f64>()) as u64;
+            cubesfc_obs::counter_add("halo/messages", 1);
+            cubesfc_obs::counter_add("halo/bytes_sent", bytes);
+            cubesfc_obs::histogram_record("halo/message_bytes", bytes);
             self.senders[*nbr as usize]
                 .send(Msg {
                     from: self.rank,
@@ -357,12 +361,7 @@ impl RankState<'_> {
                 self.stash.insert((msg.seq, msg.from), msg.data);
             };
             // Accumulate the partials.
-            let idxs = &self
-                .neighbors
-                .iter()
-                .find(|(r, _)| *r == from)
-                .unwrap()
-                .1;
+            let idxs = &self.neighbors.iter().find(|(r, _)| *r == from).unwrap().1;
             for (j, &i) in idxs.iter().enumerate() {
                 let a = self.shared_acc[i as usize] as usize;
                 for lev in 0..nlev {
@@ -425,10 +424,7 @@ mod tests {
         for nranks in [2usize, 3, 4, 6] {
             let (par, _) = run_parallel(&topo, &block_partition(24, nranks), cfg, 4, &ic);
             let diff = serial.q.max_abs_diff(&par);
-            assert!(
-                diff < 1e-12,
-                "nranks={nranks}: parallel deviates by {diff}"
-            );
+            assert!(diff < 1e-12, "nranks={nranks}: parallel deviates by {diff}");
         }
     }
 
@@ -460,7 +456,7 @@ mod tests {
         let ne = 2;
         let topo = Topology::build(ne);
         let cfg = AdvectionConfig::stable_for(ne, 4, 1);
-        let (_, stats) = run_parallel(&topo, &block_partition(24, 3), cfg, 2, &|_| 1.0);
+        let (_, stats) = run_parallel(&topo, &block_partition(24, 3), cfg, 2, |_| 1.0);
         assert_eq!(stats.per_rank_compute.len(), 3);
         assert_eq!(stats.per_rank_comm.len(), 3);
         assert!(stats.per_rank_compute.iter().all(|&t| t >= 0.0));

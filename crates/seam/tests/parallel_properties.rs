@@ -21,8 +21,8 @@ proptest! {
         // Random assignment; force every rank non-empty.
         let mut rng = cubesfc_graph::SplitMix64::new(seed);
         let mut assign: Vec<u32> = (0..k).map(|_| rng.below(nranks) as u32).collect();
-        for r in 0..nranks {
-            assign[r] = r as u32;
+        for (r, a) in assign.iter_mut().enumerate().take(nranks) {
+            *a = r as u32;
         }
         let part = Partition::new(nranks, assign);
 

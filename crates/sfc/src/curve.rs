@@ -47,6 +47,7 @@ impl SfcCurve {
     /// Panics if the domain exceeds `u32` addressable cells (side lengths
     /// beyond 65 535 — far past any climate-model resolution).
     pub fn generate(schedule: &Schedule) -> SfcCurve {
+        let _span = cubesfc_obs::span("sfc_generate");
         let side = schedule.side();
         assert!(side <= u16::MAX as usize, "side {side} too large");
         let ncells = side * side;
@@ -126,8 +127,7 @@ impl SfcCurve {
 
     /// Check that every cell is visited exactly once (bijectivity).
     pub fn is_bijective(&self) -> bool {
-        self.rank.iter().all(|&r| r != u32::MAX)
-            && self.order.iter().all(|&c| c != u32::MAX)
+        self.rank.iter().all(|&r| r != u32::MAX) && self.order.iter().all(|&c| c != u32::MAX)
     }
 
     /// Check that consecutive cells are 4-neighbours (unit-step, or "edge
@@ -136,9 +136,7 @@ impl SfcCurve {
     pub fn is_unit_step(&self) -> bool {
         self.iter()
             .zip(self.iter().skip(1))
-            .all(|((i0, j0), (i1, j1))| {
-                i0.abs_diff(i1) + j0.abs_diff(j1) == 1
-            })
+            .all(|((i0, j0), (i1, j1))| i0.abs_diff(i1) + j0.abs_diff(j1) == 1)
     }
 
     /// Build a curve directly from a visit order (used by mesh-level code
@@ -289,10 +287,22 @@ mod tests {
         let c = hilbert(2).unwrap();
         let cells: Vec<_> = c.iter().collect();
         let expected = vec![
-            (0, 0), (1, 0), (1, 1), (0, 1), // bottom-left quadrant
-            (0, 2), (0, 3), (1, 3), (1, 2), // top-left
-            (2, 2), (2, 3), (3, 3), (3, 2), // top-right
-            (3, 1), (2, 1), (2, 0), (3, 0), // bottom-right
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (0, 1), // bottom-left quadrant
+            (0, 2),
+            (0, 3),
+            (1, 3),
+            (1, 2), // top-left
+            (2, 2),
+            (2, 3),
+            (3, 3),
+            (3, 2), // top-right
+            (3, 1),
+            (2, 1),
+            (2, 0),
+            (3, 0), // bottom-right
         ];
         assert_eq!(cells, expected);
     }
@@ -302,10 +312,15 @@ mod tests {
         let c = mpeano(1).unwrap();
         let cells: Vec<_> = c.iter().collect();
         let expected = vec![
-            (0, 0), (0, 1), (0, 2), // up the left column
-            (1, 2), (2, 2),         // across the top
-            (2, 1), (1, 1),         // back through the middle
-            (1, 0), (2, 0),         // hook out along the bottom
+            (0, 0),
+            (0, 1),
+            (0, 2), // up the left column
+            (1, 2),
+            (2, 2), // across the top
+            (2, 1),
+            (1, 1), // back through the middle
+            (1, 0),
+            (2, 0), // hook out along the bottom
         ];
         assert_eq!(cells, expected);
     }

@@ -45,6 +45,6 @@ pub use curve::{cinco, hilbert, hilbert_peano, mpeano, CurveFamily, SfcCurve};
 pub use error::SfcError;
 pub use morton::morton;
 pub use refine::Radix;
-pub use schedule::{factor_2_3, factor_235, is_supported_side, Schedule};
+pub use schedule::{factor_235, factor_2_3, is_supported_side, Schedule};
 pub use transform::{Corner, DihedralTransform};
 pub use vector::{Axis, CurveState, Dir, UnitVec};

@@ -90,7 +90,16 @@ mod tests {
         let cells: Vec<_> = c.iter().collect();
         assert_eq!(
             &cells[..8],
-            &[(0, 0), (1, 0), (0, 1), (1, 1), (2, 0), (3, 0), (2, 1), (3, 1)]
+            &[
+                (0, 0),
+                (1, 0),
+                (0, 1),
+                (1, 1),
+                (2, 0),
+                (3, 0),
+                (2, 1),
+                (3, 1)
+            ]
         );
     }
 

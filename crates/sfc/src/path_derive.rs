@@ -102,20 +102,44 @@ pub fn derive_table(r: usize, path: &[(u8, u8)]) -> Vec<TableEntry> {
             // Corners on the face toward the next block.
             let candidates: [BCorner; 2] = match (dx, dy) {
                 (1, 0) => [
-                    BCorner { hi_x: true, hi_y: false },
-                    BCorner { hi_x: true, hi_y: true },
+                    BCorner {
+                        hi_x: true,
+                        hi_y: false,
+                    },
+                    BCorner {
+                        hi_x: true,
+                        hi_y: true,
+                    },
                 ],
                 (-1, 0) => [
-                    BCorner { hi_x: false, hi_y: false },
-                    BCorner { hi_x: false, hi_y: true },
+                    BCorner {
+                        hi_x: false,
+                        hi_y: false,
+                    },
+                    BCorner {
+                        hi_x: false,
+                        hi_y: true,
+                    },
                 ],
                 (0, 1) => [
-                    BCorner { hi_x: false, hi_y: true },
-                    BCorner { hi_x: true, hi_y: true },
+                    BCorner {
+                        hi_x: false,
+                        hi_y: true,
+                    },
+                    BCorner {
+                        hi_x: true,
+                        hi_y: true,
+                    },
                 ],
                 (0, -1) => [
-                    BCorner { hi_x: false, hi_y: false },
-                    BCorner { hi_x: true, hi_y: false },
+                    BCorner {
+                        hi_x: false,
+                        hi_y: false,
+                    },
+                    BCorner {
+                        hi_x: true,
+                        hi_y: false,
+                    },
                 ],
                 _ => unreachable!(),
             };
@@ -123,9 +147,7 @@ pub fn derive_table(r: usize, path: &[(u8, u8)]) -> Vec<TableEntry> {
             // is itself on that face, the exit is the other corner).
             let exit = if entry == candidates[0] {
                 candidates[1]
-            } else if entry == candidates[1] {
-                candidates[0]
-            } else if entry.is_adjacent(candidates[0]) {
+            } else if entry == candidates[1] || entry.is_adjacent(candidates[0]) {
                 candidates[0]
             } else {
                 debug_assert!(entry.is_adjacent(candidates[1]));
@@ -267,11 +289,7 @@ mod tests {
             let n = Radix::Two.child_states(parent, &mut hand);
             assert_eq!(n, 4);
             for (i, e) in table.iter().enumerate() {
-                assert_eq!(
-                    instantiate(parent, e),
-                    hand[i],
-                    "parent {parent} child {i}"
-                );
+                assert_eq!(instantiate(parent, e), hand[i], "parent {parent} child {i}");
             }
         }
     }
@@ -284,11 +302,7 @@ mod tests {
             let n = Radix::Three.child_states(parent, &mut hand);
             assert_eq!(n, 9);
             for (i, e) in table.iter().enumerate() {
-                assert_eq!(
-                    instantiate(parent, e),
-                    hand[i],
-                    "parent {parent} child {i}"
-                );
+                assert_eq!(instantiate(parent, e), hand[i], "parent {parent} child {i}");
             }
         }
     }
@@ -311,10 +325,7 @@ mod tests {
             for md in [Dir::Pos, Dir::Neg] {
                 for ja in [Axis::X, Axis::Y] {
                     for jd in [Dir::Pos, Dir::Neg] {
-                        v.push(CurveState::new(
-                            UnitVec::new(ma, md),
-                            UnitVec::new(ja, jd),
-                        ));
+                        v.push(CurveState::new(UnitVec::new(ma, md), UnitVec::new(ja, jd)));
                     }
                 }
             }

@@ -21,13 +21,25 @@ pub struct Corner {
 
 impl Corner {
     /// Corner at low `i`, low `j` — the canonical entry.
-    pub const LL: Corner = Corner { hi_i: false, hi_j: false };
+    pub const LL: Corner = Corner {
+        hi_i: false,
+        hi_j: false,
+    };
     /// Corner at high `i`, low `j` — the canonical exit.
-    pub const LR: Corner = Corner { hi_i: true, hi_j: false };
+    pub const LR: Corner = Corner {
+        hi_i: true,
+        hi_j: false,
+    };
     /// Corner at low `i`, high `j`.
-    pub const UL: Corner = Corner { hi_i: false, hi_j: true };
+    pub const UL: Corner = Corner {
+        hi_i: false,
+        hi_j: true,
+    };
     /// Corner at high `i`, high `j`.
-    pub const UR: Corner = Corner { hi_i: true, hi_j: true };
+    pub const UR: Corner = Corner {
+        hi_i: true,
+        hi_j: true,
+    };
 
     /// All four corners.
     pub const ALL: [Corner; 4] = [Corner::LL, Corner::LR, Corner::UL, Corner::UR];
@@ -118,9 +130,8 @@ impl DihedralTransform {
         if !entry.is_adjacent(exit) {
             return None;
         }
-        DihedralTransform::all().find(|t| {
-            t.apply_corner(Corner::LL) == entry && t.apply_corner(Corner::LR) == exit
-        })
+        DihedralTransform::all()
+            .find(|t| t.apply_corner(Corner::LL) == entry && t.apply_corner(Corner::LR) == exit)
     }
 
     /// Transform a whole curve: the returned curve visits

@@ -17,10 +17,10 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
         prop_oneof![Just(Radix::Two), Just(Radix::Three), Just(Radix::Five)],
         1..=5,
     )
-        .prop_filter("keep sides small enough to test quickly", |radices| {
-            radices.iter().map(|r| r.side()).product::<usize>() <= 90
-        })
-        .prop_map(|radices| Schedule::from_radices(radices).unwrap())
+    .prop_filter("keep sides small enough to test quickly", |radices| {
+        radices.iter().map(|r| r.side()).product::<usize>() <= 90
+    })
+    .prop_map(|radices| Schedule::from_radices(radices).unwrap())
 }
 
 proptest! {

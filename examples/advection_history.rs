@@ -79,10 +79,7 @@ fn main() {
         let path = format!("/tmp/cubesfc_frame_{frame:02}.ppm");
         write_ppm(&path, &grid).expect("write frame");
         if frame == 0 || frame == frames / 2 || frame + 1 == frames {
-            println!(
-                "t = {:.3} (frame {frame}, wrote {path}):",
-                solver.time()
-            );
+            println!("t = {:.3} (frame {frame}, wrote {path}):", solver.time());
             println!("{}", ascii_contour(&grid));
         }
         solver.run(steps_per_frame);

@@ -17,12 +17,7 @@ fn main() {
     println!("SFC vs best-METIS advantage across the paper's resolutions\n");
     for res in table1() {
         let mesh = CubedSphere::new(res.ne);
-        println!(
-            "K = {} (Ne = {}, {} curve):",
-            res.k,
-            res.ne,
-            res.family()
-        );
+        println!("K = {} (Ne = {}, {} curve):", res.k, res.ne, res.family());
         println!(
             "  {:>6} {:>8} {:>14} {:>14} {:>12}",
             "Nproc", "elem/p", "SFC time/step", "best METIS", "advantage"
@@ -39,9 +34,8 @@ fn main() {
             })
             .collect();
         for nproc in picks {
-            let sfc =
-                PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
-                    .unwrap();
+            let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
+                .unwrap();
             let metis = best_metis(&mesh, nproc, &machine, &cost).unwrap();
             println!(
                 "  {:>6} {:>8} {:>12.2}ms {:>10.2}ms ({}) {:>+9.1}%",

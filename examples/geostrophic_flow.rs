@@ -16,9 +16,7 @@ use cubesfc::CubedSphere;
 
 fn main() {
     let ne = 4;
-    println!(
-        "Williamson TC2 (steady geostrophic flow) on the Ne={ne} cubed-sphere\n"
-    );
+    println!("Williamson TC2 (steady geostrophic flow) on the Ne={ne} cubed-sphere\n");
     println!(
         "{:>4} {:>8} {:>12} {:>14} {:>16}",
         "np", "steps", "model time", "state drift", "volume drift"

@@ -12,9 +12,7 @@
 //! ```
 
 use cubesfc::graph::load_balance;
-use cubesfc::{
-    partition, partition_default, CubedSphere, PartitionMethod, PartitionOptions,
-};
+use cubesfc::{partition, partition_default, CubedSphere, PartitionMethod, PartitionOptions};
 
 fn main() {
     let ne = 16; // K = 1536
@@ -54,8 +52,10 @@ fn main() {
     let lb_equal = load_balance(&work_per_part(&equal));
 
     // 2. Weighted prefix-sum SFC split.
-    let mut opts = PartitionOptions::default();
-    opts.weights = Some(weights.clone());
+    let opts = PartitionOptions {
+        weights: Some(weights.clone()),
+        ..Default::default()
+    };
     let weighted = partition(&mesh, PartitionMethod::Sfc, nproc, &opts).unwrap();
     let lb_weighted = load_balance(&work_per_part(&weighted));
 

@@ -71,13 +71,123 @@ fn render_ppm_has_magic_number() {
 }
 
 #[test]
+fn version_flag_prints_version_and_exits_zero() {
+    for argv in [vec!["--version"], vec!["-V"], vec!["report", "--version"]] {
+        let out = cli().args(&argv).output().unwrap();
+        assert!(out.status.success(), "{argv:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            text.starts_with("cubesfc ") && text.trim().len() > "cubesfc ".len(),
+            "{argv:?}: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn usage_errors_exit_2_and_runtime_errors_exit_1() {
+    // Parse-level failures (unknown flag, missing command/--ne): exit 2.
+    for argv in [
+        vec!["info", "--ne", "4", "--frobnicate"],
+        vec!["info"],
+        vec![],
+    ] {
+        let out = cli().args(&argv).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("usage:"), "{argv:?}: {err}");
+    }
+    // Runtime failures (valid syntax, bad semantics): exit 1.
+    for argv in [
+        vec!["badcmd", "--ne", "4"],
+        vec!["partition", "--ne", "7", "--nproc", "2", "--method", "sfc"],
+    ] {
+        let out = cli().args(&argv).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{argv:?}");
+    }
+}
+
+#[test]
+fn profile_flag_prints_span_tree_to_stderr() {
+    let out = cli()
+        .args(["report", "--ne", "4", "--nproc", "12", "--profile"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    // The hierarchical profile covers partitioning, SFC generation, and
+    // evaluation phases.
+    for needle in ["span", "partition", "slice", "kway", "evaluate", "counters"] {
+        assert!(err.contains(needle), "missing {needle:?} in:\n{err}");
+    }
+    // Nested phases are indented under their parents.
+    assert!(
+        err.lines()
+            .any(|l| l.starts_with("  curve") || l.starts_with("  kway")),
+        "no indented child spans:\n{err}"
+    );
+    // Profiling must not leak into stdout (the report table stays clean).
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("of-parent"), "{stdout}");
+}
+
+#[test]
+fn profile_env_writes_schema_stable_json() {
+    let dir = std::env::temp_dir().join(format!("cubesfc-cli-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.json");
+    let out = cli()
+        .args(["partition", "--ne", "4", "--nproc", "8"])
+        .env("CUBESFC_PROFILE", format!("json:{}", path.display()))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        json.starts_with("{\"schema\":\"cubesfc-profile-v1\""),
+        "{json}"
+    );
+    for key in [
+        "\"timers\":",
+        "\"counters\":",
+        "\"histograms\":",
+        "\"partition\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_off_keeps_stderr_quiet() {
+    let out = cli()
+        .args(["partition", "--ne", "4", "--nproc", "8"])
+        .env_remove("CUBESFC_PROFILE")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        out.stderr.is_empty(),
+        "{:?}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     // Missing --ne.
     let out = cli().args(["info"]).output().unwrap();
     assert!(!out.status.success());
     // Unknown method.
     let out = cli()
-        .args(["partition", "--ne", "4", "--nproc", "2", "--method", "voronoi"])
+        .args([
+            "partition",
+            "--ne",
+            "4",
+            "--nproc",
+            "2",
+            "--method",
+            "voronoi",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

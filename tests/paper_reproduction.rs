@@ -5,9 +5,7 @@
 //! differ from the 2003 hardware; orderings and regimes must not.
 
 use cubesfc::report::{best_metis, PartitionReport};
-use cubesfc::{
-    partition_default, table1, CostModel, CubedSphere, MachineModel, PartitionMethod,
-};
+use cubesfc::{partition_default, table1, CostModel, CubedSphere, MachineModel, PartitionMethod};
 
 fn models() -> (MachineModel, CostModel) {
     (MachineModel::ncar_p690(), CostModel::seam_climate())
@@ -19,8 +17,7 @@ fn headline_k384_sfc_wins_at_full_scale() {
     // the best METIS generated partitions on 384 processors."
     let mesh = CubedSphere::new(8);
     let (machine, cost) = models();
-    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 384, &machine, &cost)
-        .unwrap();
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 384, &machine, &cost).unwrap();
     let metis = best_metis(&mesh, 384, &machine, &cost).unwrap();
     let adv = metis.time_us / sfc.time_us - 1.0;
     assert!(
@@ -36,11 +33,14 @@ fn headline_k486_mpeano_wins_at_full_scale() {
     // partitions on 486 processors" — the m-Peano validation.
     let mesh = CubedSphere::new(9);
     let (machine, cost) = models();
-    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 486, &machine, &cost)
-        .unwrap();
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 486, &machine, &cost).unwrap();
     let metis = best_metis(&mesh, 486, &machine, &cost).unwrap();
     let adv = metis.time_us / sfc.time_us - 1.0;
-    assert!(adv > 0.30, "m-Peano advantage too small: {:+.1}%", adv * 100.0);
+    assert!(
+        adv > 0.30,
+        "m-Peano advantage too small: {:+.1}%",
+        adv * 100.0
+    );
 }
 
 #[test]
@@ -48,11 +48,14 @@ fn headline_k1536_sfc_wins_at_768() {
     // Paper: "+22% improvement in execution rate at 768 processors".
     let mesh = CubedSphere::new(16);
     let (machine, cost) = models();
-    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 768, &machine, &cost)
-        .unwrap();
+    let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, 768, &machine, &cost).unwrap();
     let metis = best_metis(&mesh, 768, &machine, &cost).unwrap();
     let adv = metis.time_us / sfc.time_us - 1.0;
-    assert!(adv > 0.15, "K=1536 advantage too small: {:+.1}%", adv * 100.0);
+    assert!(
+        adv > 0.15,
+        "K=1536 advantage too small: {:+.1}%",
+        adv * 100.0
+    );
 }
 
 #[test]
@@ -67,8 +70,7 @@ fn crossover_sits_near_eight_elements_per_proc() {
     // Comparable below the crossover (≥ 16 elements/proc): within 5%.
     for nproc in [4usize, 8, 16, 24] {
         let sfc =
-            PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
-                .unwrap();
+            PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost).unwrap();
         let metis = best_metis(&mesh, nproc, &machine, &cost).unwrap();
         let adv = (metis.time_us / sfc.time_us - 1.0).abs();
         assert!(
@@ -80,8 +82,7 @@ fn crossover_sits_near_eight_elements_per_proc() {
     // Clear advantage above it.
     for nproc in [96usize, 192, 384] {
         let sfc =
-            PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost)
-                .unwrap();
+            PartitionReport::compute(&mesh, PartitionMethod::Sfc, nproc, &machine, &cost).unwrap();
         let metis = best_metis(&mesh, nproc, &machine, &cost).unwrap();
         let adv = metis.time_us / sfc.time_us - 1.0;
         assert!(
@@ -171,8 +172,8 @@ fn all_table1_resolutions_run_end_to_end() {
     for res in table1() {
         let mesh = CubedSphere::new(res.ne);
         let top = res.max_nproc;
-        let sfc = PartitionReport::compute(&mesh, PartitionMethod::Sfc, top, &machine, &cost)
-            .unwrap();
+        let sfc =
+            PartitionReport::compute(&mesh, PartitionMethod::Sfc, top, &machine, &cost).unwrap();
         assert_eq!(sfc.lb_nelemd, 0.0, "K={}", res.k);
         let p = partition_default(&mesh, PartitionMethod::MetisKway, top).unwrap();
         assert_eq!(p.len(), res.k);

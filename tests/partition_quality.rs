@@ -55,12 +55,7 @@ fn sfc_balance_is_optimal_for_all_table1_divisors() {
         for nproc in res.equal_share_procs() {
             let p = partition_default(&mesh, PartitionMethod::Sfc, nproc).unwrap();
             let sizes: Vec<u64> = p.part_sizes().iter().map(|&s| s as u64).collect();
-            assert_eq!(
-                load_balance(&sizes),
-                0.0,
-                "K={} nproc={nproc}",
-                res.k
-            );
+            assert_eq!(load_balance(&sizes), 0.0, "K={} nproc={nproc}", res.k);
         }
     }
 }

@@ -23,10 +23,7 @@ fn physics_is_partition_independent() {
             let part = partition_default(&mesh, method, nranks).unwrap();
             let (field, stats) = run_parallel(topo, &part, cfg, 5, &ic);
             let diff = serial.q.max_abs_diff(&field);
-            assert!(
-                diff < 1e-12,
-                "{method} x{nranks}: deviates by {diff}"
-            );
+            assert!(diff < 1e-12, "{method} x{nranks}: deviates by {diff}");
             assert_eq!(stats.per_rank_compute.len(), nranks);
         }
     }

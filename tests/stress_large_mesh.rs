@@ -23,10 +23,7 @@ fn k13824_full_pipeline() {
     // not an exact divisor — sizes differ by at most one.
     let p = partition_default(&mesh, PartitionMethod::Sfc, 1024).unwrap();
     let sizes = p.part_sizes();
-    let (min, max) = (
-        *sizes.iter().min().unwrap(),
-        *sizes.iter().max().unwrap(),
-    );
+    let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
     assert!(max - min <= 1, "{min}..{max}");
 
     // Graph partition at 256: valid, balanced within tolerance.

@@ -1,0 +1,162 @@
+//! Shim of `criterion`: enough API for this workspace's benches to
+//! compile and run under `cargo bench` with no external dependencies.
+//!
+//! Measurement is deliberately simple — one warm-up plus a few timed
+//! iterations per benchmark, reporting the mean wall-clock time to
+//! stdout. There is no statistical analysis, HTML report, or baseline
+//! comparison; use a real profiler for serious measurements.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Timed iterations per benchmark (after one warm-up run).
+const TIMED_ITERS: u32 = 3;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<D: Display>(parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+
+    pub fn new<D: Display>(function: &str, parameter: D) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        let mean_ns = bencher
+            .total_ns
+            .checked_div(bencher.iters as u128)
+            .unwrap_or(0);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0 => {
+                format!("  {:.3} Melem/s", n as f64 * 1e3 / mean_ns as f64)
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0 => {
+                format!("  {:.3} MB/s", n as f64 * 1e3 / mean_ns as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{}: {:.3} ms/iter ({} iters){rate}",
+            self.name,
+            id.text,
+            mean_ns as f64 / 1e6,
+            bencher.iters,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    total_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            std::hint::black_box(f());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.iters += TIMED_ITERS;
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work; benches here import
+/// `std::hint::black_box` directly, but both spellings are valid.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(42), &5u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1 + TIMED_ITERS);
+    }
+}

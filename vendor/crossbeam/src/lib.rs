@@ -1,0 +1,32 @@
+//! Shim of `crossbeam`: only the `channel` module, backed by
+//! `std::sync::mpsc`. The workspace uses unbounded channels with cloned
+//! senders and single-consumer receivers, which mpsc supports directly.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// An unbounded multi-producer single-consumer channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(7).unwrap());
+        tx.send(3).unwrap();
+        h.join().unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Shim of `rayon`: `slice.par_iter().map(f).collect()` implemented with
+//! `std::thread::scope`. Parallelism is real (multiple OS threads, even
+//! on one core — important for exercising concurrent code paths) and the
+//! output order matches the input order, like rayon's indexed collect.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// How many worker threads a parallel call may use: at least 2 (so
+/// concurrency is exercised even on single-core machines), at most 8.
+fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
+
+/// Entry point: `.par_iter()` on slices (and, via unsized coercion,
+/// arrays and `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped parallel iterator; `collect` runs the map on scoped threads.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Apply the map across worker threads, preserving input order.
+    pub fn collect(self) -> Vec<R> {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nthreads = max_threads().min(n);
+        if nthreads == 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let chunk = n.div_ceil(nthreads);
+        let f = &self.f;
+        std::thread::scope(|s| {
+            for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(self.items.chunks(chunk)) {
+                s.spawn(move || {
+                    for (out, item) in out_chunk.iter_mut().zip(in_chunk) {
+                        *out = Some(f(item));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker thread filled every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ys: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arrays_and_nesting_work() {
+        let grid: Vec<Vec<usize>> = [1usize, 2, 3]
+            .par_iter()
+            .map(|&a| [10usize, 20].par_iter().map(|&b| a * b).collect())
+            .collect();
+        assert_eq!(grid, vec![vec![10, 20], vec![20, 40], vec![30, 60]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let none: Vec<u8> = Vec::<u8>::new().par_iter().map(|&b| b).collect();
+        assert!(none.is_empty());
+    }
+}

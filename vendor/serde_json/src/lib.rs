@@ -1,0 +1,5 @@
+//! Placeholder shim of `serde_json`; see `vendor/serde/src/lib.rs` for
+//! the rationale. Only referenced from the feature-gated serde round-trip
+//! test, which compiles to nothing while the `serde` feature is off.
+//! Profile/metrics JSON export in this workspace uses the hand-rolled
+//! serializer in `cubesfc-obs` instead.

@@ -32,8 +32,8 @@ fn main() {
     );
     println!("serial reference: {:.3}s\n", t_serial);
     println!(
-        "{:>6} {:>10} {:>10} {:>10} {:>14}",
-        "ranks", "SFC (s)", "speedup", "KWAY (s)", "SFC vs KWAY"
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "ranks", "SFC (s)", "speedup", "LB model", "LB meas.", "KWAY (s)", "SFC vs KWAY"
     );
 
     let cores = std::thread::available_parallelism()
@@ -43,23 +43,42 @@ fn main() {
         if nranks > 2 * cores {
             break;
         }
-        let run = |method: PartitionMethod| -> f64 {
+        // Returns (best wall seconds, modelled LB(nelemd), measured LB on
+        // per-rank compute seconds — Eq. (1) applied to wall clock).
+        let run = |method: PartitionMethod| -> (f64, f64, f64) {
             let part = partition_default(&mesh, method, nranks).unwrap();
+            let mut nelemd = vec![0u64; nranks];
+            for &p in part.assignment() {
+                nelemd[p as usize] += 1;
+            }
+            let lb_model = cubesfc::graph::metrics::load_balance(&nelemd);
             // Best of three to tame scheduler noise.
-            (0..3)
+            let (wall, lb_meas) = (0..3)
                 .map(|_| {
                     let (_, stats) = run_parallel(topo, &part, cfg, steps, &ic);
-                    stats.wall_seconds
+                    (stats.wall_seconds, stats.lb_compute())
                 })
-                .fold(f64::MAX, f64::min)
+                .fold(
+                    (f64::MAX, 0.0),
+                    |best, cur| {
+                        if cur.0 < best.0 {
+                            cur
+                        } else {
+                            best
+                        }
+                    },
+                );
+            (wall, lb_model, lb_meas)
         };
-        let t_sfc = run(PartitionMethod::Sfc);
-        let t_kway = run(PartitionMethod::MetisKway);
+        let (t_sfc, lb_model, lb_meas) = run(PartitionMethod::Sfc);
+        let (t_kway, _, _) = run(PartitionMethod::MetisKway);
         println!(
-            "{:>6} {:>10.3} {:>10.2} {:>10.3} {:>+13.1}%",
+            "{:>6} {:>10.3} {:>10.2} {:>10.3} {:>10.3} {:>10.3} {:>+13.1}%",
             nranks,
             t_sfc,
             t_serial / t_sfc,
+            lb_model,
+            lb_meas,
             t_kway,
             (t_kway / t_sfc - 1.0) * 100.0
         );

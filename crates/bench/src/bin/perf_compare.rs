@@ -1,0 +1,80 @@
+//! `perf_compare` — diff two `cubesfc-profile-v1` snapshots and fail on
+//! regression (the benchmark-trajectory guardrail).
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin perf_compare -- \
+//!     BENCH_baseline.json BENCH_profile.json [--threshold PCT] [--report-only]
+//! ```
+//!
+//! Prints the per-span wall-time and counter delta table to stdout and
+//! exits nonzero when any entry regresses beyond the threshold (default
+//! 25%), unless `--report-only` is given. Spans whose totals are below
+//! the 1 ms noise floor on both sides are ignored; counters are
+//! deterministic and compared exactly.
+//!
+//! This is the same comparator as `cubesfc compare` — the standalone
+//! bin exists so the bench crate is self-contained in CI.
+
+use cubesfc_obs::{compare_profiles, CompareConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perf_compare OLD.json NEW.json [--threshold PCT] [--report-only]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut cfg = CompareConfig::default();
+    let mut report_only = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if t.is_finite() && t >= 0.0 => cfg.threshold_pct = t,
+                    _ => return usage(),
+                }
+            }
+            "--report-only" => report_only = true,
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            _ => return usage(),
+        }
+    }
+    if paths.len() != 2 {
+        return usage();
+    }
+
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("error: {p}: {e}");
+            None
+        }
+    };
+    let (Some(old), Some(new)) = (read(&paths[0]), read(&paths[1])) else {
+        return ExitCode::FAILURE;
+    };
+
+    match compare_profiles(&old, &new, &cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            let n = report.regressions();
+            if n > 0 && !report_only {
+                eprintln!(
+                    "error: {n} regression(s) beyond {:.1}% threshold",
+                    cfg.threshold_pct
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! cubesfc report    --ne 8 --nproc 96            # Table-2 style comparison
 //! cubesfc render    --ne 8 --nproc 24 --output net.ppm [--ascii]
 //! cubesfc info      --ne 8                       # mesh + curve facts
+//! cubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]
 //! ```
 //!
 //! Any command accepts `--profile`, which prints a hierarchical phase
@@ -13,7 +14,17 @@
 //! `CUBESFC_PROFILE` environment variable also enables profiling:
 //! `CUBESFC_PROFILE=1` prints the table, `CUBESFC_PROFILE=json:<path>`
 //! additionally writes the profile as `cubesfc-profile-v1` JSON to
-//! `<path>`.
+//! `<path>`. Any other value is a usage error (exit 2).
+//!
+//! Any command also accepts `--trace <path>` (or `CUBESFC_TRACE=<path>`)
+//! to record an event timeline and write it as Chrome Trace Event Format
+//! JSON, openable in Perfetto or `chrome://tracing`. For `partition` the
+//! trace additionally includes a short parallel mini-solve over the
+//! computed partition, so each virtual rank gets its own timeline lane.
+//!
+//! `compare` diffs two `cubesfc-profile-v1` snapshots (per-span wall
+//! time and counters) and exits nonzero when any span regresses past the
+//! threshold — unless `--report-only` is given.
 //!
 //! The assignment output format is one line per element: `elem part`.
 
@@ -32,6 +43,11 @@ struct Args {
     seed: u64,
     ascii: bool,
     profile: bool,
+    trace: Option<String>,
+    /// Positional operands (the two snapshot paths for `compare`).
+    paths: Vec<String>,
+    threshold: Option<f64>,
+    report_only: bool,
 }
 
 /// What to do with the profile when the command finishes.
@@ -47,6 +63,8 @@ fn usage() -> ExitCode {
         "usage: cubesfc <partition|report|render|info> --ne N [--nproc P]\n\
          \t[--method sfc|kway|tv|rb|morton|rcb] [--output FILE] [--seed N] [--ascii]\n\
          \t[--profile]  (or CUBESFC_PROFILE=1 | CUBESFC_PROFILE=json:FILE)\n\
+         \t[--trace FILE]  (or CUBESFC_TRACE=FILE)\n\
+         \tcubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]\n\
          \tcubesfc --version"
     );
     ExitCode::from(2)
@@ -64,6 +82,10 @@ fn parse_args() -> Result<Args, String> {
         seed: 0x5EED,
         ascii: false,
         profile: false,
+        trace: None,
+        paths: Vec::new(),
+        threshold: None,
+        report_only: false,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -103,29 +125,95 @@ fn parse_args() -> Result<Args, String> {
             "--output" => args.output = Some(it.next().ok_or("--output needs a value")?),
             "--ascii" => args.ascii = true,
             "--profile" => args.profile = true,
+            "--trace" => {
+                let p = it.next().ok_or("--trace needs a value")?;
+                if p.is_empty() {
+                    return Err("--trace needs a non-empty path".into());
+                }
+                args.trace = Some(p);
+            }
+            "--threshold" => {
+                let t: f64 = it
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+                args.threshold = Some(t);
+            }
+            "--report-only" => args.report_only = true,
+            other if !other.starts_with('-') => args.paths.push(other.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if args.ne == 0 {
-        return Err("--ne is required".into());
+    if args.command == "compare" {
+        if args.paths.len() != 2 {
+            return Err("compare needs exactly two snapshot paths: OLD.json NEW.json".into());
+        }
+    } else {
+        if let Some(stray) = args.paths.first() {
+            return Err(format!("unexpected argument '{stray}'"));
+        }
+        if args.ne == 0 {
+            return Err("--ne is required".into());
+        }
     }
     Ok(args)
 }
 
 /// Combine `--profile` and `CUBESFC_PROFILE` into one sink (or none).
 ///
-/// `CUBESFC_PROFILE=json:<path>` writes JSON *and* prints the table;
-/// any other non-empty value just prints the table.
-fn profile_sink(flag: bool) -> Option<ProfileSink> {
+/// The environment variable follows a strict contract: empty or `0`
+/// disables, `1`/`true`/`table` print the table, `json:<path>` writes
+/// JSON *and* prints the table. Anything else is a usage error.
+fn profile_sink(flag: bool) -> Result<Option<ProfileSink>, String> {
     let env = std::env::var("CUBESFC_PROFILE").unwrap_or_default();
-    let json_path = env.strip_prefix("json:").map(str::to_string);
-    if !flag && env.is_empty() {
-        return None;
+    let mut sink = if flag {
+        Some(ProfileSink {
+            table: true,
+            json_path: None,
+        })
+    } else {
+        None
+    };
+    match env.as_str() {
+        "" | "0" => {}
+        "1" | "true" | "table" => {
+            sink = Some(ProfileSink {
+                table: true,
+                json_path: sink.and_then(|s| s.json_path),
+            });
+        }
+        other => match other.strip_prefix("json:") {
+            Some(path) if !path.is_empty() => {
+                sink = Some(ProfileSink {
+                    table: true,
+                    json_path: Some(path.to_string()),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "CUBESFC_PROFILE={other:?} is invalid (expected '', '0', '1', \
+                     'true', 'table', or 'json:<path>')"
+                ));
+            }
+        },
     }
-    Some(ProfileSink {
-        table: true,
-        json_path,
-    })
+    Ok(sink)
+}
+
+/// Combine `--trace` and `CUBESFC_TRACE` into the trace output path (or
+/// none). The flag takes precedence over the environment variable.
+fn trace_sink(flag: &Option<String>) -> Option<String> {
+    if flag.is_some() {
+        return flag.clone();
+    }
+    match std::env::var("CUBESFC_TRACE") {
+        Ok(p) if !p.is_empty() => Some(p),
+        _ => None,
+    }
 }
 
 fn write_profile(sink: &ProfileSink) -> Result<(), String> {
@@ -148,7 +236,43 @@ fn emit(path: &Option<String>, bytes: &[u8]) -> Result<(), String> {
     }
 }
 
+/// Diff two `cubesfc-profile-v1` snapshots; `Err` carries the regression
+/// verdict (runtime error, exit 1) unless `--report-only` was given.
+fn run_compare(args: &Args) -> Result<(), String> {
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let old = read(&args.paths[0])?;
+    let new = read(&args.paths[1])?;
+    let mut cfg = cubesfc_obs::CompareConfig::default();
+    if let Some(t) = args.threshold {
+        cfg.threshold_pct = t;
+    }
+    let report = cubesfc_obs::compare_profiles(&old, &new, &cfg)?;
+    print!("{}", report.render());
+    let n = report.regressions();
+    if n > 0 && !args.report_only {
+        return Err(format!(
+            "{n} regression(s) beyond {:.1}% threshold",
+            cfg.threshold_pct
+        ));
+    }
+    Ok(())
+}
+
+/// Run a short parallel advection solve over the computed partition so
+/// the trace shows one timeline lane per virtual rank (plus the shared
+/// DSS lane). Only invoked when tracing is enabled.
+fn trace_mini_solve(mesh: &CubedSphere, part: &cubesfc::Partition) {
+    use cubesfc::seam::solver::AdvectionConfig;
+    use cubesfc::seam::{gaussian_blob, run_parallel};
+    let cfg = AdvectionConfig::stable_for(mesh.ne(), 4, 1);
+    let ic = gaussian_blob([1.0, 0.0, 0.0], 0.5);
+    let _ = run_parallel(mesh.topology(), part, cfg, 2, &ic);
+}
+
 fn run(args: Args) -> Result<(), String> {
+    if args.command == "compare" {
+        return run_compare(&args);
+    }
     let mesh = CubedSphere::new(args.ne);
     let mut opts = PartitionOptions::default();
     opts.graph_config.seed = args.seed;
@@ -179,6 +303,9 @@ fn run(args: Args) -> Result<(), String> {
                 return Err("--nproc is required".into());
             }
             let p = partition(&mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
+            if cubesfc_obs::trace_enabled() {
+                trace_mini_solve(&mesh, &p);
+            }
             let mut out = String::new();
             for (e, part) in p.assignment().iter().enumerate() {
                 out.push_str(&format!("{e} {part}\n"));
@@ -231,14 +358,31 @@ fn main() -> ExitCode {
             usage()
         }
         Ok(args) => {
-            let sink = profile_sink(args.profile);
+            let sink = match profile_sink(args.profile) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let trace_path = trace_sink(&args.trace);
             if sink.is_some() {
                 cubesfc_obs::set_enabled(true);
+            }
+            if trace_path.is_some() {
+                cubesfc_obs::set_trace_enabled(true);
             }
             let result = run(args);
             if let Some(sink) = &sink {
                 if let Err(e) = write_profile(sink) {
                     eprintln!("error: profile export failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = &trace_path {
+                let json = cubesfc_obs::tracer().export_chrome();
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: trace export failed: {path}: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -1,0 +1,236 @@
+//! Chrome Trace Event Format export for [`Tracer`] timelines.
+//!
+//! The output is the JSON Object Format of the Trace Event spec — an
+//! object with a `traceEvents` array — loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Each lane becomes
+//! one thread row (`tid` = lane id) of a single process, named via
+//! `thread_name` metadata events and ordered by `thread_sort_index`, so
+//! virtual ranks render as adjacent timeline rows regardless of which
+//! OS thread simulated them.
+//!
+//! Timestamps are microseconds (the spec's unit) with nanosecond
+//! precision kept as three decimal places; formatting is integer-only,
+//! so output is byte-stable for a given event stream.
+
+use crate::events::EventKind;
+use crate::json::escape;
+use crate::Tracer;
+
+/// Version tag written to every trace document (under `otherData`).
+pub const TRACE_SCHEMA: &str = "cubesfc-trace-v1";
+
+/// The process id all lanes share in the export.
+const PID: u32 = 1;
+
+/// Format nanoseconds as decimal microseconds (`12345` → `12.345`).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_args(out: &mut String, args: &[(String, u64)]) {
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), v));
+    }
+    out.push('}');
+}
+
+impl Tracer {
+    /// Export every recorded event as a Chrome Trace Event Format JSON
+    /// document. Always valid JSON, even with zero events or lanes.
+    pub fn export_chrome(&self) -> String {
+        let lanes = self.lane_names();
+        let events = self.events();
+        let mut out = String::with_capacity(1024 + events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"");
+        out.push_str(TRACE_SCHEMA);
+        out.push_str("\",\"droppedEvents\":");
+        out.push_str(&self.dropped_events().to_string());
+        out.push_str("},\"traceEvents\":[");
+
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+        };
+
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"args\":{{\"name\":\"cubesfc\"}}}}"
+        ));
+        for (id, name) in lanes.iter().enumerate() {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{id},\"args\":{{\"name\":\"{}\"}}}}",
+                escape(name)
+            ));
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{id},\"args\":{{\"sort_index\":{id}}}}}"
+            ));
+        }
+
+        for ev in &events {
+            sep(&mut out);
+            match ev.kind {
+                EventKind::Begin => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"ph\":\"B\",\"pid\":{PID},\"tid\":{},\"ts\":{}",
+                        escape(&ev.name),
+                        ev.lane,
+                        ts_us(ev.ts_ns)
+                    ));
+                    push_args(&mut out, &ev.args);
+                    out.push('}');
+                }
+                EventKind::End => {
+                    out.push_str(&format!(
+                        "{{\"ph\":\"E\",\"pid\":{PID},\"tid\":{},\"ts\":{}}}",
+                        ev.lane,
+                        ts_us(ev.ts_ns)
+                    ));
+                }
+                EventKind::Instant => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID},\"tid\":{},\"ts\":{}",
+                        escape(&ev.name),
+                        ev.lane,
+                        ts_us(ev.ts_ns)
+                    ));
+                    push_args(&mut out, &ev.args);
+                    out.push('}');
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::parse;
+    use crate::MockClock;
+    use std::sync::Arc;
+
+    #[test]
+    fn ts_formats_nanoseconds_as_decimal_microseconds() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(999), "0.999");
+        assert_eq!(ts_us(12_345), "12.345");
+        assert_eq!(ts_us(1_000_000), "1000.000");
+    }
+
+    #[test]
+    fn empty_tracer_exports_valid_object() {
+        let doc = parse(&Tracer::new().export_chrome()).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(
+            obj["otherData"].get("schema").unwrap().as_str(),
+            Some(TRACE_SCHEMA)
+        );
+        assert_eq!(
+            obj["otherData"].get("droppedEvents").unwrap().as_u64(),
+            Some(0)
+        );
+        // Only the process_name metadata event.
+        assert_eq!(obj["traceEvents"].as_arr().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn export_has_named_sorted_lanes_and_balanced_slices() {
+        let clock = Arc::new(MockClock::new());
+        let tracer = Tracer::with_clock(clock.clone());
+        let r0 = tracer.lane("rank 0");
+        let r1 = tracer.lane("rank 1");
+        r0.begin_with("compute", &[("elements", 7)]);
+        clock.advance(1500);
+        r0.end();
+        r1.instant("send", &[("bytes", 64)]);
+
+        let json = tracer.export_chrome();
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["rank 0", "rank 1"]);
+
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .collect();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+            .count();
+        assert_eq!(begins.len(), 1);
+        assert_eq!(ends, 1);
+        assert_eq!(begins[0].get("name").unwrap().as_str(), Some("compute"));
+        assert_eq!(
+            begins[0]
+                .get("args")
+                .unwrap()
+                .get("elements")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        assert_eq!(begins[0].get("ts").unwrap().as_f64(), Some(0.0));
+
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .unwrap();
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(instant.get("ts").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn export_reports_dropped_events() {
+        let tracer = Tracer::with_clock_and_capacity(Arc::new(MockClock::new()), 2);
+        let lane = tracer.lane("x");
+        for _ in 0..5 {
+            lane.instant("e", &[]);
+        }
+        let doc = parse(&tracer.export_chrome()).unwrap();
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("droppedEvents")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let tracer = Tracer::new();
+        let lane = tracer.lane("rank \"0\"");
+        lane.instant("a\nb", &[]);
+        let json = tracer.export_chrome();
+        parse(&json).unwrap();
+        assert!(json.contains("rank \\\"0\\\""));
+        assert!(json.contains("a\\nb"));
+    }
+}

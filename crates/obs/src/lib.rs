@@ -12,29 +12,44 @@
 //!   written to per-thread shards (one mutex each, never contended in
 //!   steady state) and merged into a [`Snapshot`] on demand; safe under
 //!   Rayon-style fan-out.
-//! * **Exporters** — `Snapshot::render_table()` (human-readable profile
-//!   tree) and `Snapshot::to_json()` (hand-rolled, stable
-//!   `cubesfc-profile-v1` schema).
+//! * **Event timelines** — a bounded per-thread event ring buffer
+//!   ([`Tracer`]) records begin/end slices and instant marks onto named
+//!   *lanes* ([`Lane`]), so logical actors (virtual ranks, the DSS
+//!   exchange) get their own timeline rows; [`Tracer::export_chrome`]
+//!   writes Chrome Trace Event Format JSON openable in Perfetto.
+//! * **Exporters & diffing** — `Snapshot::render_table()` (human-readable
+//!   profile tree), `Snapshot::to_json()` (hand-rolled, stable
+//!   `cubesfc-profile-v1` schema), and [`compare_profiles`], which diffs
+//!   two profile documents against regression thresholds.
 //!
-//! The global registry is **disabled by default**: every [`span`] /
-//! [`counter_add`] / [`histogram_record`] call first does a single relaxed
-//! atomic load and returns immediately when profiling is off, so
-//! instrumented hot paths cost ~1ns when unused. Explicit [`Registry`]
-//! instances (used in tests and embedders) always record.
+//! The global registry and tracer are **disabled by default**: every
+//! [`span`] / [`counter_add`] / [`histogram_record`] / [`trace_lane`]
+//! call first does a single relaxed atomic load and returns immediately
+//! when the corresponding feature is off, so instrumented hot paths cost
+//! ~1ns (and allocate nothing) when unused. Explicit [`Registry`] and
+//! [`Tracer`] instances (used in tests and embedders) always record.
 
+mod chrome;
 mod clock;
+mod compare;
+mod events;
 mod json;
 mod render;
 mod snapshot;
+mod value;
 
+pub use chrome::TRACE_SCHEMA;
 pub use clock::{Clock, MockClock, MonotonicClock};
+pub use compare::{compare_profiles, CompareConfig, CompareReport, Delta, DeltaStatus};
+pub use events::{EventKind, Lane, LaneSpan, TraceEvent, Tracer};
 pub use json::{escape as json_escape, SCHEMA};
 pub use snapshot::{Bucket, HistogramSnapshot, Snapshot, SpanStat};
+pub use value::{parse as json_parse, JsonValue};
 
 use snapshot::{bucket_index, bucket_range, HIST_BUCKETS};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
@@ -169,6 +184,7 @@ impl Registry {
                 path,
                 start_ns: self.inner.clock.now_ns(),
             }),
+            trace: None,
         }
     }
 
@@ -252,22 +268,31 @@ struct ActiveSpan {
 }
 
 /// RAII guard for a span; records elapsed time into the owning registry
-/// when dropped. Inert (records nothing) when profiling was disabled at
-/// creation time.
+/// when dropped, and closes the matching timeline slice when the span
+/// was opened with tracing on. Inert (records nothing) when both
+/// features were disabled at creation time.
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
+    /// Lane that received this span's `Begin` event; `End` fires on drop.
+    trace: Option<Lane>,
 }
 
 impl SpanGuard {
     /// A guard that records nothing (what [`span`] returns when
     /// profiling is disabled).
     pub fn inert() -> SpanGuard {
-        SpanGuard { active: None }
+        SpanGuard {
+            active: None,
+            trace: None,
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some(lane) = self.trace.take() {
+            lane.end();
+        }
         let Some(span) = self.active.take() else {
             return;
         };
@@ -300,11 +325,24 @@ impl Drop for SpanGuard {
 }
 
 // ---------------------------------------------------------------------------
-// Global registry
+// Global registry and tracer
 
-/// Whether the *global* registry records anything. Checked with a single
-/// relaxed load on every instrumentation call.
-static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit flags for the *global* instrumentation features, checked with a
+/// single relaxed load on every instrumentation call. Bit 0 gates the
+/// metrics registry, bit 1 the event-timeline tracer — one load answers
+/// both questions, so a call site never pays more than one atomic read.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+
+const FLAG_METRICS: u8 = 1;
+const FLAG_TRACE: u8 = 1 << 1;
+
+fn set_flag(bit: u8, on: bool) {
+    if on {
+        FLAGS.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
 
 fn global_cell() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -316,23 +354,76 @@ pub fn global() -> &'static Registry {
     global_cell()
 }
 
-/// Turn global profiling on or off.
+/// The process-wide event tracer used by instrumented library code.
+pub fn tracer() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+/// Turn global profiling (metrics) on or off.
 pub fn set_enabled(on: bool) {
-    GLOBAL_ENABLED.store(on, Ordering::Relaxed);
+    set_flag(FLAG_METRICS, on);
 }
 
 /// Is global profiling currently on?
 pub fn enabled() -> bool {
-    GLOBAL_ENABLED.load(Ordering::Relaxed)
+    FLAGS.load(Ordering::Relaxed) & FLAG_METRICS != 0
 }
 
-/// Open a span on the global registry; inert when profiling is disabled.
+/// Turn global event-timeline tracing on or off.
+pub fn set_trace_enabled(on: bool) {
+    set_flag(FLAG_TRACE, on);
+}
+
+/// Is global event tracing currently on?
+pub fn trace_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_TRACE != 0
+}
+
+/// A handle to the named timeline lane of the global tracer, or an
+/// inert handle (records nothing, allocates nothing) when tracing is
+/// off. Like spans, a lane acquired while tracing was on keeps
+/// recording even if tracing is disabled afterwards.
+#[inline]
+pub fn trace_lane(name: &str) -> Lane {
+    if FLAGS.load(Ordering::Relaxed) & FLAG_TRACE == 0 {
+        return Lane::inert();
+    }
+    tracer().lane(name)
+}
+
+/// Record an instant event on the calling OS thread's implicit lane of
+/// the global tracer; no-op when tracing is disabled.
+#[inline]
+pub fn trace_instant(name: &str, args: &[(&str, u64)]) {
+    if FLAGS.load(Ordering::Relaxed) & FLAG_TRACE == 0 {
+        return;
+    }
+    tracer().thread_lane().instant(name, args);
+}
+
+/// Open a span on the global registry; inert when profiling is
+/// disabled. When tracing is enabled the span also appears as a slice
+/// on the calling thread's timeline lane, so every `--profile`
+/// instrumentation point doubles as a `--trace` event with no extra
+/// call sites.
 #[inline]
 pub fn span(name: &str) -> SpanGuard {
-    if !enabled() {
+    let flags = FLAGS.load(Ordering::Relaxed);
+    if flags == 0 {
         return SpanGuard::inert();
     }
-    global().span(name)
+    let mut guard = if flags & FLAG_METRICS != 0 {
+        global().span(name)
+    } else {
+        SpanGuard::inert()
+    };
+    if flags & FLAG_TRACE != 0 {
+        let lane = tracer().thread_lane();
+        lane.begin(name);
+        guard.trace = Some(lane);
+    }
+    guard
 }
 
 /// Add to a global counter; no-op when profiling is disabled.
@@ -507,6 +598,88 @@ mod tests {
         drop(s);
         assert_eq!(snapshot().timers["in_flight"].count, 1);
         reset();
+    }
+
+    #[test]
+    fn global_trace_lane_gates_on_flag() {
+        let _guard = global_test_lock();
+        set_trace_enabled(false);
+        tracer().reset();
+        let inert = trace_lane("rank 0");
+        inert.begin("compute");
+        inert.end();
+        trace_instant("never", &[]);
+        assert_eq!(tracer().event_count(), 0);
+
+        set_trace_enabled(true);
+        let lane = trace_lane("rank 0");
+        lane.begin_with("compute", &[("elements", 3)]);
+        lane.end();
+        set_trace_enabled(false);
+        // Like spans, an acquired lane keeps recording after disable...
+        lane.instant("late", &[]);
+        // ...but new acquisitions are inert again.
+        trace_lane("rank 1").instant("never", &[]);
+        assert_eq!(tracer().event_count(), 3);
+        tracer().reset();
+    }
+
+    #[test]
+    fn global_span_emits_trace_slices_when_tracing_on() {
+        let _guard = global_test_lock();
+        set_enabled(false);
+        set_trace_enabled(true);
+        tracer().reset();
+        {
+            let _s = span("partition");
+            let _inner = span("coarsen");
+        }
+        set_trace_enabled(false);
+        let events = tracer().events();
+        let begins: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Begin)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(begins, vec!["partition", "coarsen"]);
+        let ends = events.iter().filter(|e| e.kind == EventKind::End).count();
+        assert_eq!(ends, 2);
+        // Metrics stayed off: the registry saw nothing.
+        assert!(snapshot().timers.is_empty());
+        tracer().reset();
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_boundary() {
+        // Values at and around the log2 overflow boundary land in the
+        // top bucket [2^63, u64::MAX] without wrapping or panicking.
+        let reg = Registry::new();
+        reg.histogram_record("h", u64::MAX);
+        reg.histogram_record("h", 1u64 << 63);
+        reg.histogram_record("h", (1u64 << 63) - 1);
+        let h = &reg.snapshot().histograms["h"];
+        assert_eq!(h.count, 3);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum, u64::MAX);
+        let by_lo: Vec<(u64, u64, u64)> = h.buckets.iter().map(|b| (b.lo, b.hi, b.count)).collect();
+        assert_eq!(
+            by_lo,
+            vec![(1u64 << 62, (1u64 << 63) - 1, 1), (1u64 << 63, u64::MAX, 2),]
+        );
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        // A registry with zero recorded events still snapshots, renders,
+        // and serializes to valid, schema-tagged JSON.
+        let reg = Registry::new();
+        let snap = reg.snapshot();
+        assert!(snap.is_empty());
+        assert!(snap.render_table().contains("no samples"));
+        let json = snap.to_json();
+        let doc = json_parse(&json).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert!(doc.get("timers").unwrap().as_obj().unwrap().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::shallow_water::{SwConfig, SwState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use cubesfc_graph::Partition;
 use cubesfc_mesh::{ElemId, Topology};
+use cubesfc_obs::Lane;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -139,15 +140,14 @@ where
         per_rank_comm[rank] = tm;
     }
 
-    (
-        state,
-        RunStats {
-            wall_seconds,
-            per_rank_compute,
-            per_rank_comm,
-            steps,
-        },
-    )
+    let stats = RunStats {
+        wall_seconds,
+        per_rank_compute,
+        per_rank_comm,
+        steps,
+    };
+    stats.record_histograms();
+    (state, stats)
 }
 
 /// One rank's shallow water solve over its local elements.
@@ -175,6 +175,8 @@ where
     let n = cfg.np;
     let npts = n * n;
     let nl = elems.len();
+    let lane: Lane = cubesfc_obs::trace_lane(&format!("rank {rank}"));
+    let dss_lane: Lane = cubesfc_obs::trace_lane("dss");
 
     let geoms: Vec<ElemGeometry> = elems
         .iter()
@@ -233,6 +235,7 @@ where
                    t_compute: &mut f64,
                    t_comm: &mut f64| {
         let t0 = Instant::now();
+        lane.begin("local_sum");
         num.iter_mut().for_each(|x| *x = 0.0);
         for (slot, acc) in acc_index.iter().enumerate() {
             let mass = &geoms[slot].mass;
@@ -243,17 +246,32 @@ where
                 }
             }
         }
+        lane.end();
         *t_compute += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let this_seq = *seq;
         *seq += 1;
+        let bytes_out: u64 = plan
+            .neighbors
+            .iter()
+            .map(|(_, idxs)| (idxs.len() * NFIELDS * 8) as u64)
+            .sum();
+        lane.begin_with("pack", &[("bytes", bytes_out)]);
         for (nbr, idxs) in &plan.neighbors {
             let mut buf = Vec::with_capacity(idxs.len() * NFIELDS);
             for &i in idxs {
                 let a = shared_acc[i as usize] as usize;
                 buf.extend_from_slice(&num[a * NFIELDS..(a + 1) * NFIELDS]);
             }
+            dss_lane.instant(
+                "send",
+                &[
+                    ("from", rank as u64),
+                    ("to", *nbr as u64),
+                    ("bytes", (buf.len() * 8) as u64),
+                ],
+            );
             senders[*nbr as usize]
                 .send(Msg {
                     from: rank as u32,
@@ -262,7 +280,10 @@ where
                 })
                 .expect("send failed");
         }
+        lane.end();
         let expected: Vec<u32> = plan.neighbors.iter().map(|(r, _)| *r).collect();
+        lane.begin_with("wait", &[("neighbors", expected.len() as u64)]);
+        let mut bytes_in = 0u64;
         for &from in &expected {
             let data = loop {
                 if let Some(d) = stash.remove(&(this_seq, from)) {
@@ -274,6 +295,7 @@ where
                 }
                 stash.insert((msg.seq, msg.from), msg.data);
             };
+            bytes_in += (data.len() * 8) as u64;
             let idxs = &plan.neighbors.iter().find(|(r, _)| *r == from).unwrap().1;
             for (j, &i) in idxs.iter().enumerate() {
                 let a = shared_acc[i as usize] as usize;
@@ -282,9 +304,12 @@ where
                 }
             }
         }
+        lane.end();
+        lane.instant("recv", &[("bytes", bytes_in)]);
         *t_comm += t1.elapsed().as_secs_f64();
 
         let t2 = Instant::now();
+        lane.begin("scatter");
         for (slot, acc) in acc_index.iter().enumerate() {
             for (f, field) in fields.iter_mut().enumerate() {
                 let data = &mut field[slot];
@@ -294,6 +319,7 @@ where
                 }
             }
         }
+        lane.end();
         *t_compute += t2.elapsed().as_secs_f64();
     };
 
@@ -326,6 +352,7 @@ where
                      out: &mut [Vec<Vec<f64>>; NFIELDS],
                      t_compute: &mut f64| {
         let t0 = Instant::now();
+        lane.begin_with("compute", &[("elements", nl as u64)]);
         let mut dr = vec![0.0f64; npts];
         let mut ds = vec![0.0f64; npts];
         let mut fr = vec![0.0f64; npts];
@@ -372,6 +399,7 @@ where
                 out[3][slot][k] = -(dr[k] + ds[k]) / g.jac[k];
             }
         }
+        lane.end();
         *t_compute += t0.elapsed().as_secs_f64();
     };
 

@@ -18,6 +18,7 @@ use crate::solver::{rhs_kernel, AdvectionConfig, Workspace};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use cubesfc_graph::Partition;
 use cubesfc_mesh::{ElemId, Topology};
+use cubesfc_obs::Lane;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -43,6 +44,59 @@ pub struct RunStats {
     pub per_rank_comm: Vec<f64>,
     /// Steps taken.
     pub steps: usize,
+}
+
+/// The paper's Eq. (1) load-balance measure, `(max - avg) / max`,
+/// applied to measured per-rank seconds. 0 is perfect balance; values
+/// toward 1 mean the slowest rank dominates.
+pub(crate) fn measured_lb(per_rank: &[f64]) -> f64 {
+    let max = per_rank.iter().cloned().fold(0.0f64, f64::max);
+    if per_rank.is_empty() || max <= 0.0 {
+        return 0.0;
+    }
+    let avg = per_rank.iter().sum::<f64>() / per_rank.len() as f64;
+    (max - avg) / max
+}
+
+impl RunStats {
+    /// Measured computational load balance: Eq. (1) over
+    /// [`RunStats::per_rank_compute`]. Comparable with the *modelled*
+    /// `LB(nelemd)` a partition report predicts from element counts.
+    pub fn lb_compute(&self) -> f64 {
+        measured_lb(&self.per_rank_compute)
+    }
+
+    /// Measured communication load balance: Eq. (1) over
+    /// [`RunStats::per_rank_comm`].
+    pub fn lb_comm(&self) -> f64 {
+        measured_lb(&self.per_rank_comm)
+    }
+
+    /// One-line run summary exposing the measured load balance next to
+    /// the wall-clock numbers.
+    pub fn summary(&self) -> String {
+        format!(
+            "wall={:.3}s steps={} ranks={} LB(compute)={:.3} LB(comm)={:.3}",
+            self.wall_seconds,
+            self.steps,
+            self.per_rank_compute.len(),
+            self.lb_compute(),
+            self.lb_comm()
+        )
+    }
+
+    /// Record the per-rank timings into the global metrics registry as
+    /// microsecond histograms (`vranks/compute_seconds_us`,
+    /// `vranks/comm_seconds_us`) so `--profile` captures the rank
+    /// spread without needing `--trace`.
+    pub(crate) fn record_histograms(&self) {
+        for &t in &self.per_rank_compute {
+            cubesfc_obs::histogram_record("vranks/compute_seconds_us", (t * 1e6) as u64);
+        }
+        for &t in &self.per_rank_comm {
+            cubesfc_obs::histogram_record("vranks/comm_seconds_us", (t * 1e6) as u64);
+        }
+    }
 }
 
 /// Run the advection mini-app in parallel over the given element
@@ -137,15 +191,14 @@ where
         per_rank_comm[rank] = tm;
     }
 
-    (
-        global,
-        RunStats {
-            wall_seconds,
-            per_rank_compute,
-            per_rank_comm,
-            steps,
-        },
-    )
+    let stats = RunStats {
+        wall_seconds,
+        per_rank_compute,
+        per_rank_comm,
+        steps,
+    };
+    stats.record_histograms();
+    (global, stats)
 }
 
 /// Everything one rank owns.
@@ -172,6 +225,10 @@ struct RankState<'a> {
     seq: u64,
     t_compute: f64,
     t_comm: f64,
+    /// This virtual rank's timeline row (inert unless tracing is on).
+    lane: Lane,
+    /// The shared DSS-exchange timeline row.
+    dss_lane: Lane,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -238,6 +295,10 @@ where
         seq: 0,
         t_compute: 0.0,
         t_comm: 0.0,
+        // Each virtual rank gets its own timeline row, named after the
+        // *logical* rank — not the OS thread that simulated it.
+        lane: cubesfc_obs::trace_lane(&format!("rank {rank}")),
+        dss_lane: cubesfc_obs::trace_lane("dss"),
     };
 
     // Initial condition + projection (one DSS round).
@@ -289,6 +350,8 @@ impl RankState<'_> {
         let n = self.cfg.np;
         let npts = n * n;
         let t0 = Instant::now();
+        self.lane
+            .begin_with("compute", &[("elements", self.elems.len() as u64)]);
         let mut out: Vec<Vec<f64>> = vec![vec![0.0; npts * self.cfg.nlev]; q.len()];
         let mut ws = Workspace::new(n);
         for (slot, data) in q.iter().enumerate() {
@@ -299,6 +362,7 @@ impl RankState<'_> {
                 rhs_kernel(self.basis, g, slab, oslab, &mut ws);
             }
         }
+        self.lane.end();
         self.t_compute += t0.elapsed().as_secs_f64();
         self.dss(&mut out);
         out
@@ -312,6 +376,7 @@ impl RankState<'_> {
 
         let t0 = Instant::now();
         // Local partial numerators.
+        self.lane.begin("local_sum");
         self.num.iter_mut().for_each(|x| *x = 0.0);
         for (slot, data) in field.iter().enumerate() {
             let acc = &self.acc_index[slot];
@@ -323,12 +388,19 @@ impl RankState<'_> {
                 }
             }
         }
+        self.lane.end();
         self.t_compute += t0.elapsed().as_secs_f64();
 
         // Exchange partials for shared dofs.
         let t1 = Instant::now();
         let seq = self.seq;
         self.seq += 1;
+        let bytes_out: u64 = self
+            .neighbors
+            .iter()
+            .map(|(_, idxs)| (idxs.len() * nlev * std::mem::size_of::<f64>()) as u64)
+            .sum();
+        self.lane.begin_with("pack", &[("bytes", bytes_out)]);
         for (nbr, idxs) in &self.neighbors {
             let mut buf = Vec::with_capacity(idxs.len() * nlev);
             for &i in idxs {
@@ -339,6 +411,14 @@ impl RankState<'_> {
             cubesfc_obs::counter_add("halo/messages", 1);
             cubesfc_obs::counter_add("halo/bytes_sent", bytes);
             cubesfc_obs::histogram_record("halo/message_bytes", bytes);
+            self.dss_lane.instant(
+                "send",
+                &[
+                    ("from", self.rank as u64),
+                    ("to", *nbr as u64),
+                    ("bytes", bytes),
+                ],
+            );
             self.senders[*nbr as usize]
                 .send(Msg {
                     from: self.rank,
@@ -347,8 +427,12 @@ impl RankState<'_> {
                 })
                 .expect("send failed");
         }
+        self.lane.end();
         // Receive from every neighbour (possibly out of order).
         let expected: Vec<u32> = self.neighbors.iter().map(|(r, _)| *r).collect();
+        self.lane
+            .begin_with("wait", &[("neighbors", expected.len() as u64)]);
+        let mut bytes_in = 0u64;
         for &from in &expected {
             let data = loop {
                 if let Some(d) = self.stash.remove(&(seq, from)) {
@@ -360,6 +444,7 @@ impl RankState<'_> {
                 }
                 self.stash.insert((msg.seq, msg.from), msg.data);
             };
+            bytes_in += (data.len() * std::mem::size_of::<f64>()) as u64;
             // Accumulate the partials.
             let idxs = &self.neighbors.iter().find(|(r, _)| *r == from).unwrap().1;
             for (j, &i) in idxs.iter().enumerate() {
@@ -369,10 +454,13 @@ impl RankState<'_> {
                 }
             }
         }
+        self.lane.end();
+        self.lane.instant("recv", &[("bytes", bytes_in)]);
         self.t_comm += t1.elapsed().as_secs_f64();
 
         // Scatter averaged values back.
         let t2 = Instant::now();
+        self.lane.begin("scatter");
         for (slot, data) in field.iter_mut().enumerate() {
             let acc = &self.acc_index[slot];
             for lev in 0..nlev {
@@ -383,6 +471,7 @@ impl RankState<'_> {
                 }
             }
         }
+        self.lane.end();
         self.t_compute += t2.elapsed().as_secs_f64();
     }
 }
@@ -460,5 +549,83 @@ mod tests {
         assert_eq!(stats.per_rank_compute.len(), 3);
         assert_eq!(stats.per_rank_comm.len(), 3);
         assert!(stats.per_rank_compute.iter().all(|&t| t >= 0.0));
+        let summary = stats.summary();
+        assert!(summary.contains("ranks=3"), "{summary}");
+        assert!(summary.contains("LB(compute)="), "{summary}");
+    }
+
+    #[test]
+    fn measured_lb_formula_matches_eq1() {
+        assert_eq!(measured_lb(&[]), 0.0);
+        assert_eq!(measured_lb(&[0.0, 0.0]), 0.0);
+        assert_eq!(measured_lb(&[1.0, 1.0, 1.0]), 0.0);
+        // max=2, avg=4/3 -> (2 - 4/3)/2 = 1/3.
+        assert!((measured_lb(&[2.0, 1.0, 1.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_partition_has_worse_measured_lb_than_sfc() {
+        use cubesfc_mesh::CubedSphere;
+        let ne = 2;
+        let mesh = CubedSphere::new(ne);
+        let topo = mesh.topology();
+        let k = mesh.num_elems();
+        let cfg = AdvectionConfig::stable_for(ne, 4, 4);
+        let ic = gaussian_blob([1.0, 0.0, 0.0], 0.5);
+
+        // SFC partition: two contiguous 12-element curve segments.
+        let curve = mesh.curve().unwrap();
+        let mut sfc_assign = vec![0u32; k];
+        for (r, e) in curve.iter().enumerate() {
+            sfc_assign[e.index()] = ((r * 2) / k) as u32;
+        }
+        let sfc = Partition::new(2, sfc_assign);
+
+        // Deliberately skewed: rank 0 owns 22 elements, rank 1 owns 2.
+        let skew_assign: Vec<u32> = (0..k).map(|e| u32::from(e >= k - 2)).collect();
+        let skewed = Partition::new(2, skew_assign);
+
+        let (_, sfc_stats) = run_parallel(topo, &sfc, cfg, 4, &ic);
+        let (_, skew_stats) = run_parallel(topo, &skewed, cfg, 4, &ic);
+        assert!(
+            skew_stats.lb_compute() > sfc_stats.lb_compute(),
+            "skewed LB {:.3} should exceed SFC LB {:.3}",
+            skew_stats.lb_compute(),
+            sfc_stats.lb_compute()
+        );
+        // 22-vs-2 elements: the measured imbalance is structural, not
+        // scheduler noise — Eq. (1) predicts (22 - 12) / 22 ≈ 0.45.
+        assert!(
+            skew_stats.lb_compute() > 0.2,
+            "skewed LB {:.3} too small",
+            skew_stats.lb_compute()
+        );
+    }
+
+    #[test]
+    fn parallel_run_populates_rank_and_dss_lanes() {
+        let ne = 2;
+        let topo = Topology::build(ne);
+        let cfg = AdvectionConfig::stable_for(ne, 4, 1);
+        cubesfc_obs::set_trace_enabled(true);
+        let (_, _) = run_parallel(&topo, &block_partition(24, 3), cfg, 1, |_| 1.0);
+        cubesfc_obs::set_trace_enabled(false);
+        let lanes = cubesfc_obs::tracer().lane_names();
+        for want in ["rank 0", "rank 1", "rank 2", "dss"] {
+            assert!(
+                lanes.iter().any(|l| l == want),
+                "missing lane {want:?} in {lanes:?}"
+            );
+        }
+        let events = cubesfc_obs::tracer().events();
+        let begins: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == cubesfc_obs::EventKind::Begin)
+            .map(|e| e.name.as_str())
+            .collect();
+        for phase in ["compute", "local_sum", "pack", "wait", "scatter"] {
+            assert!(begins.contains(&phase), "missing {phase:?} slices");
+        }
+        cubesfc_obs::tracer().reset();
     }
 }

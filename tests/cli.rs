@@ -172,6 +172,220 @@ fn profile_off_keeps_stderr_quiet() {
     );
 }
 
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cubesfc-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A minimal synthetic `cubesfc-profile-v1` snapshot with one timer.
+fn snapshot_json(total_ns: u64, counter: u64) -> String {
+    format!(
+        "{{\"schema\":\"cubesfc-profile-v1\",\"timers\":{{\"partition\":{{\"count\":1,\
+         \"total_ns\":{total_ns},\"min_ns\":{total_ns},\"max_ns\":{total_ns},\
+         \"mean_ns\":{total_ns}}}}},\"counters\":{{\"partition/calls\":{counter}}},\
+         \"histograms\":{{}}}}"
+    )
+}
+
+#[test]
+fn trace_flag_emits_chrome_trace_with_one_lane_per_rank() {
+    use cubesfc::obs::JsonValue;
+    let dir = tmpdir("trace");
+    let path = dir.join("trace.json");
+    let out = cli()
+        .args(["partition", "--ne", "2", "--nproc", "4"])
+        .args(["--trace", path.to_str().unwrap()])
+        .env_remove("CUBESFC_TRACE")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = cubesfc::obs::json_parse(&text).expect("trace must be valid JSON");
+    assert_eq!(
+        v.get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(JsonValue::as_str),
+        Some("cubesfc-trace-v1")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+
+    // One timeline lane (thread_name metadata) per virtual rank, plus the
+    // shared DSS lane.
+    let lanes: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                && e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+        })
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(JsonValue::as_str)
+        })
+        .collect();
+    for want in ["rank 0", "rank 1", "rank 2", "rank 3", "dss"] {
+        assert!(lanes.contains(&want), "missing lane {want:?} in {lanes:?}");
+    }
+
+    // Every non-metadata event carries pid, tid, and a timestamp; begins
+    // and ends balance per lane and never go negative.
+    let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    let mut slices = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap();
+        if ph == "M" {
+            continue;
+        }
+        assert!(e.get("pid").and_then(JsonValue::as_u64).is_some(), "{e:?}");
+        let tid = e.get("tid").and_then(JsonValue::as_u64).expect("tid");
+        assert!(e.get("ts").and_then(JsonValue::as_f64).is_some(), "{e:?}");
+        match ph {
+            "B" => {
+                *depth.entry(tid).or_insert(0) += 1;
+                slices += 1;
+            }
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "unbalanced E on tid {tid}");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unclosed slices: {depth:?}"
+    );
+    assert!(slices > 0, "no slices recorded");
+
+    // Per-rank compute slices are annotated with element counts.
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("B")
+                && e.get("name").and_then(JsonValue::as_str) == Some("compute")
+                && e.get("args")
+                    .and_then(|a| a.get("elements"))
+                    .and_then(JsonValue::as_u64)
+                    .is_some()
+        }),
+        "no compute slice with element count"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_env_var_works_on_other_subcommands() {
+    let dir = tmpdir("trace-env");
+    for (sub, extra) in [("info", vec![]), ("report", vec!["--nproc", "6"])] {
+        let path = dir.join(format!("{sub}.json"));
+        let out = cli()
+            .args([sub, "--ne", "2"])
+            .args(&extra)
+            .env("CUBESFC_TRACE", path.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{sub}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = cubesfc::obs::json_parse(&text).expect("valid trace JSON");
+        assert!(
+            v.get("traceEvents")
+                .and_then(cubesfc::obs::JsonValue::as_arr)
+                .is_some(),
+            "{sub}: no traceEvents"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_profile_env_is_a_usage_error() {
+    for bad in ["banana", "json:", "2", "yes"] {
+        let out = cli()
+            .args(["info", "--ne", "2"])
+            .env("CUBESFC_PROFILE", bad)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "CUBESFC_PROFILE={bad}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("CUBESFC_PROFILE"), "{bad}: {err}");
+        assert!(err.contains("usage:"), "{bad}: {err}");
+    }
+}
+
+#[test]
+fn compare_exits_zero_on_identical_and_one_on_regression() {
+    let dir = tmpdir("compare");
+    let base = dir.join("base.json");
+    let same = dir.join("same.json");
+    let reg = dir.join("reg.json");
+    std::fs::write(&base, snapshot_json(5_000_000, 10)).unwrap();
+    std::fs::write(&same, snapshot_json(5_000_000, 10)).unwrap();
+    // +100% on a 5 ms span: far beyond the default 25% threshold.
+    std::fs::write(&reg, snapshot_json(10_000_000, 10)).unwrap();
+
+    let out = cli()
+        .args(["compare", base.to_str().unwrap(), same.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("no regressions"), "{text}");
+
+    let out = cli()
+        .args(["compare", base.to_str().unwrap(), reg.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "regression must exit nonzero");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("REGRESSED"), "{text}");
+
+    // --report-only downgrades the regression to exit 0 (CI report mode).
+    let out = cli()
+        .args(["compare", base.to_str().unwrap(), reg.to_str().unwrap()])
+        .arg("--report-only")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // A loosened threshold lets the same delta pass.
+    let out = cli()
+        .args(["compare", base.to_str().unwrap(), reg.to_str().unwrap()])
+        .args(["--threshold", "150"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_usage_and_io_errors() {
+    // Wrong arity: usage error.
+    let out = cli().args(["compare", "only-one.json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing file: runtime error.
+    let out = cli()
+        .args(["compare", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Not a profile snapshot: runtime error.
+    let dir = tmpdir("compare-bad");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\":\"something-else\"}").unwrap();
+    let out = cli()
+        .args(["compare", bad.to_str().unwrap(), bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn bad_invocations_fail_cleanly() {
     // Missing --ne.

@@ -1,0 +1,175 @@
+//! `sweep_scaling` — serial vs pooled experiment-grid timing.
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin sweep_scaling -- \
+//!     [--ne N] [--all] [--max-points M] [--jobs N] [--repeat R] [--snapshot OUT.json]
+//! ```
+//!
+//! Runs the same (K, Nproc, method) experiment grid twice through the
+//! [`cubesfc::ExperimentEngine`] — once on the calling thread, once on
+//! the worker pool — and reports the wall-clock ratio. The two runs must
+//! be **bit-identical** (same partitions, same Table-2 metrics); any
+//! divergence is a determinism bug and the binary exits nonzero.
+//!
+//! The mesh cache is pre-warmed before either timing so both sides
+//! measure partitioning + evaluation, not mesh construction. `--repeat`
+//! takes the best of R runs per side (default 3) to shave scheduler
+//! noise. `--snapshot` additionally writes the merged observability
+//! snapshot — including `sweep_scaling/*` timing histograms — as
+//! `cubesfc-profile-v1` JSON, the same schema `perf_snapshot` emits and
+//! `perf_compare` diffs.
+
+use cubesfc::{
+    cells_for, paper_grid, resolve_jobs, set_jobs, CellResult, ExperimentCell, ExperimentEngine,
+    Resolution, NCAR_P690_MAX_PROCS,
+};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sweep_scaling [--ne N] [--all] [--max-points M] [--jobs N] \
+         [--repeat R] [--snapshot OUT.json]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    ne: usize,
+    all: bool,
+    max_points: usize,
+    jobs: Option<usize>,
+    repeat: usize,
+    snapshot: Option<String>,
+}
+
+fn parse() -> Option<Opts> {
+    let mut o = Opts {
+        ne: 8,
+        all: false,
+        max_points: 8,
+        jobs: None,
+        repeat: 3,
+        snapshot: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ne" => o.ne = it.next()?.parse().ok()?,
+            "--all" => o.all = true,
+            "--max-points" => o.max_points = it.next()?.parse().ok().filter(|&m| m > 0)?,
+            "--jobs" => o.jobs = Some(it.next()?.parse().ok()?),
+            "--repeat" => o.repeat = it.next()?.parse().ok().filter(|&r| r > 0)?,
+            "--snapshot" => o.snapshot = Some(it.next()?),
+            _ => return None,
+        }
+    }
+    Some(o)
+}
+
+/// Best-of-N wall time of `run`, with the results of the last run.
+fn best_of<F>(n: usize, mut run: F) -> (Duration, Vec<CellResult>)
+where
+    F: FnMut() -> Vec<CellResult>,
+{
+    let mut best = Duration::MAX;
+    let mut last = Vec::new();
+    for _ in 0..n {
+        let t0 = Instant::now();
+        last = run();
+        best = best.min(t0.elapsed());
+    }
+    (best, last)
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse() else {
+        return usage();
+    };
+    cubesfc_obs::set_enabled(true);
+
+    let cells: Vec<ExperimentCell> = if opts.all {
+        paper_grid(opts.max_points)
+    } else {
+        match Resolution::for_ne(opts.ne, NCAR_P690_MAX_PROCS) {
+            Some(res) => cells_for(&res, opts.max_points),
+            None => {
+                eprintln!("error: Ne={} admits no space-filling curve", opts.ne);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let engine = ExperimentEngine::new();
+    // Pre-warm the mesh cache so neither side pays for mesh builds.
+    for &ne in &cells
+        .iter()
+        .map(|c| c.ne)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        engine.cache().bundle(ne);
+    }
+
+    let (t_serial, serial) = best_of(opts.repeat, || {
+        engine.run_serial(&cells).expect("grid cells are valid")
+    });
+    let jobs = resolve_jobs(opts.jobs);
+    set_jobs(jobs);
+    let workers = rayon::current_num_threads();
+    let (t_parallel, parallel) = best_of(opts.repeat, || {
+        engine.run(&cells).expect("grid cells are valid")
+    });
+    set_jobs(0);
+
+    let identical =
+        serial.len() == parallel.len() && serial.iter().zip(&parallel).all(|(s, p)| s.identical(p));
+    let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-12);
+
+    cubesfc_obs::counter_add("sweep_scaling/cells", cells.len() as u64);
+    cubesfc_obs::histogram_record("sweep_scaling/serial_us", t_serial.as_micros() as u64);
+    cubesfc_obs::histogram_record("sweep_scaling/parallel_us", t_parallel.as_micros() as u64);
+
+    println!(
+        "sweep_scaling: {} cells ({}), repeat={}, workers={}",
+        cells.len(),
+        if opts.all {
+            "full Table-1 grid".to_string()
+        } else {
+            format!("Ne={} K={}", opts.ne, 6 * opts.ne * opts.ne)
+        },
+        opts.repeat,
+        workers,
+    );
+    println!("serial   : {:>10.3} ms", t_serial.as_secs_f64() * 1e3);
+    println!(
+        "parallel : {:>10.3} ms   ({speedup:.2}x speedup)",
+        t_parallel.as_secs_f64() * 1e3
+    );
+    println!(
+        "results  : {}",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    if let Some(path) = &opts.snapshot {
+        let snap = cubesfc_obs::snapshot();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("error: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("(profile snapshot written to {path})");
+    }
+
+    if !identical {
+        let first = serial
+            .iter()
+            .zip(&parallel)
+            .find(|(s, p)| !s.identical(p))
+            .map(|(s, _)| s.cell);
+        eprintln!("error: parallel results diverged from serial, first at {first:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

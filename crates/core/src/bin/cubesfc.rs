@@ -6,8 +6,16 @@
 //! cubesfc report    --ne 8 --nproc 96            # Table-2 style comparison
 //! cubesfc render    --ne 8 --nproc 24 --output net.ppm [--ascii]
 //! cubesfc info      --ne 8                       # mesh + curve facts
+//! cubesfc experiment [--ne N] [--max-points M] [--jobs N] [--serial]
 //! cubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]
 //! ```
+//!
+//! `experiment` runs the paper's full (K, Nproc, method) grid — every
+//! method at the equal-share processor counts of every Table-1
+//! resolution (or one resolution with `--ne`) — on a worker pool.
+//! `--jobs N` sets the pool size (0 = auto), `CUBESFC_JOBS` is the
+//! environment equivalent (the flag wins), and `--serial` bypasses the
+//! pool entirely; both modes produce byte-identical output.
 //!
 //! Any command accepts `--profile`, which prints a hierarchical phase
 //! profile (span tree, counters, histograms) to stderr on exit. The
@@ -48,6 +56,12 @@ struct Args {
     paths: Vec<String>,
     threshold: Option<f64>,
     report_only: bool,
+    /// Worker pool size for `experiment` (None → `CUBESFC_JOBS` → auto).
+    jobs: Option<usize>,
+    /// Processor-count ladder points per resolution for `experiment`.
+    max_points: usize,
+    /// Run `experiment` without the worker pool.
+    serial: bool,
 }
 
 /// What to do with the profile when the command finishes.
@@ -64,6 +78,8 @@ fn usage() -> ExitCode {
          \t[--method sfc|kway|tv|rb|morton|rcb] [--output FILE] [--seed N] [--ascii]\n\
          \t[--profile]  (or CUBESFC_PROFILE=1 | CUBESFC_PROFILE=json:FILE)\n\
          \t[--trace FILE]  (or CUBESFC_TRACE=FILE)\n\
+         \tcubesfc experiment [--ne N] [--max-points M] [--jobs N] [--serial]\n\
+         \t  (CUBESFC_JOBS=N sets the pool size when --jobs is absent)\n\
          \tcubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]\n\
          \tcubesfc --version"
     );
@@ -86,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
         paths: Vec::new(),
         threshold: None,
         report_only: false,
+        jobs: None,
+        max_points: 4,
+        serial: false,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -144,6 +163,26 @@ fn parse_args() -> Result<Args, String> {
                 args.threshold = Some(t);
             }
             "--report-only" => args.report_only = true,
+            "--jobs" => {
+                args.jobs = Some(
+                    it.next()
+                        .ok_or("--jobs needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?,
+                )
+            }
+            "--max-points" => {
+                let m: usize = it
+                    .next()
+                    .ok_or("--max-points needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-points: {e}"))?;
+                if m == 0 {
+                    return Err("--max-points must be positive".into());
+                }
+                args.max_points = m;
+            }
+            "--serial" => args.serial = true,
             other if !other.starts_with('-') => args.paths.push(other.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -156,7 +195,9 @@ fn parse_args() -> Result<Args, String> {
         if let Some(stray) = args.paths.first() {
             return Err(format!("unexpected argument '{stray}'"));
         }
-        if args.ne == 0 {
+        // `experiment` defaults to the whole Table-1 grid when no
+        // resolution is named; every other command needs one.
+        if args.ne == 0 && args.command != "experiment" {
             return Err("--ne is required".into());
         }
     }
@@ -269,9 +310,66 @@ fn trace_mini_solve(mesh: &CubedSphere, part: &cubesfc::Partition) {
     let _ = run_parallel(mesh.topology(), part, cfg, 2, &ic);
 }
 
+/// Run the (K, Nproc, method) experiment grid on the worker pool (or
+/// serially with `--serial`) and print grouped Table-2 rows.
+fn run_experiment(args: &Args) -> Result<(), String> {
+    use cubesfc::{cells_for, paper_grid, resolve_jobs, set_jobs, ExperimentEngine, Resolution};
+
+    let jobs = resolve_jobs(args.jobs);
+    set_jobs(jobs);
+    let cells = if args.ne != 0 {
+        let res = Resolution::for_ne(args.ne, cubesfc::NCAR_P690_MAX_PROCS).ok_or(format!(
+            "Ne={} admits no space-filling curve (a prime factor exceeds 3)",
+            args.ne
+        ))?;
+        cells_for(&res, args.max_points)
+    } else {
+        paper_grid(args.max_points)
+    };
+    let engine = ExperimentEngine::new();
+    let results = if args.serial {
+        engine.run_serial(&cells)
+    } else {
+        engine.run(&cells)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let mut last = (0usize, 0usize);
+    for r in &results {
+        let key = (r.cell.ne, r.cell.nproc);
+        if key != last {
+            out.push_str(&format!(
+                "\nNe={} K={} Nproc={}\n{}\n",
+                r.cell.ne,
+                6 * r.cell.ne * r.cell.ne,
+                r.cell.nproc,
+                PartitionReport::table_header()
+            ));
+            last = key;
+        }
+        out.push_str(&r.report.table_row());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\n{} cells over {} resolution(s), jobs={}\n",
+        results.len(),
+        engine.cache().len(),
+        if jobs == 0 {
+            "auto".to_string()
+        } else {
+            jobs.to_string()
+        }
+    ));
+    emit(&args.output, out.as_bytes())
+}
+
 fn run(args: Args) -> Result<(), String> {
     if args.command == "compare" {
         return run_compare(&args);
+    }
+    if args.command == "experiment" {
+        return run_experiment(&args);
     }
     let mesh = CubedSphere::new(args.ne);
     let mut opts = PartitionOptions::default();

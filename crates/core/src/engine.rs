@@ -1,0 +1,414 @@
+//! The parallel experiment engine: run the paper's (K, Nproc, method)
+//! grid with memoized meshes and a rayon fan-out.
+//!
+//! The full paper reproduction evaluates every method at every
+//! equal-share processor count of every Table-1 resolution — hundreds of
+//! independent cells. Two properties make this fast without changing a
+//! single result:
+//!
+//! * **Memoization** ([`MeshCache`]): the cubed-sphere topology, global
+//!   curve, and dual graph of each resolution are built once and shared
+//!   (read-only) across every method and `Nproc` value, instead of being
+//!   rebuilt per cell as the naive loop did.
+//! * **Cell-level parallelism**: each cell is a pure function of
+//!   `(ne, nproc, method, seed)` — the partitioners are deterministic for
+//!   a fixed seed — so the grid fans out over the rayon pool and the
+//!   collected results are **bit-identical** to the serial sweep, in the
+//!   same order.
+//!
+//! Worker count is controlled with [`set_jobs`] (the CLI's `--jobs N` /
+//! `CUBESFC_JOBS`); [`ExperimentEngine::run_serial`] bypasses the pool
+//! entirely and is the reference the scaling benchmark and the
+//! determinism tests compare against.
+
+use crate::experiment::Resolution;
+use crate::partitioner::{partition_with_graph, to_csr, PartitionMethod, PartitionOptions};
+use crate::report::PartitionReport;
+use crate::PartitionError;
+use cubesfc_graph::{CsrGraph, Partition};
+use cubesfc_mesh::{CubedSphere, ExchangeWeights};
+use cubesfc_seam::{CostModel, MachineModel};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Everything derivable from a face size that experiment cells share:
+/// the mesh (topology + geometry + global curve) and its dual graph in
+/// partitioner-ready CSR form.
+#[derive(Clone, Debug)]
+pub struct MeshBundle {
+    /// Face size.
+    pub ne: usize,
+    /// The mesh (owns the global SFC when `ne` admits one).
+    pub mesh: CubedSphere,
+    /// The dual graph, built once with the cache's exchange weights.
+    pub graph: CsrGraph,
+}
+
+impl MeshBundle {
+    /// Build the bundle for face size `ne`.
+    pub fn build(ne: usize, exchange: ExchangeWeights) -> MeshBundle {
+        let _span = cubesfc_obs::span("mesh_bundle");
+        let mesh = CubedSphere::new(ne);
+        let graph = to_csr(&mesh.dual_graph(exchange));
+        MeshBundle { ne, mesh, graph }
+    }
+}
+
+/// A thread-safe memo of [`MeshBundle`]s keyed by face size.
+///
+/// `bundle` takes the lock only around the map probe/insert; the build
+/// itself runs outside it, so a slow build never serializes readers of
+/// other resolutions. If two threads race to build the same `ne`, one
+/// result wins and the duplicate is dropped — acceptable because builds
+/// are deterministic.
+pub struct MeshCache {
+    exchange: ExchangeWeights,
+    inner: Mutex<HashMap<usize, Arc<MeshBundle>>>,
+}
+
+impl MeshCache {
+    /// An empty cache with the default (paper) exchange weights.
+    pub fn new() -> MeshCache {
+        MeshCache::with_exchange(ExchangeWeights::default())
+    }
+
+    /// An empty cache with explicit exchange weights.
+    pub fn with_exchange(exchange: ExchangeWeights) -> MeshCache {
+        MeshCache {
+            exchange,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The bundle for `ne`, building and memoizing it on first request.
+    pub fn bundle(&self, ne: usize) -> Arc<MeshBundle> {
+        if let Some(b) = self.inner.lock().unwrap().get(&ne) {
+            cubesfc_obs::counter_add("experiment/cache_hits", 1);
+            return Arc::clone(b);
+        }
+        cubesfc_obs::counter_add("experiment/cache_builds", 1);
+        let built = Arc::new(MeshBundle::build(ne, self.exchange));
+        let mut map = self.inner.lock().unwrap();
+        // Keep a bundle that raced in first so every caller shares one.
+        Arc::clone(map.entry(ne).or_insert(built))
+    }
+
+    /// Number of memoized resolutions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for MeshCache {
+    fn default() -> Self {
+        MeshCache::new()
+    }
+}
+
+/// One cell of the experiment grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentCell {
+    /// Face size (`K = 6·ne²`).
+    pub ne: usize,
+    /// Processor count.
+    pub nproc: usize,
+    /// Partitioning algorithm.
+    pub method: PartitionMethod,
+}
+
+/// The outcome of one cell: the partition itself plus its Table-2
+/// report. Carried whole so determinism checks can compare assignments
+/// byte-for-byte, not just summary statistics.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: ExperimentCell,
+    /// The computed partition.
+    pub partition: Partition,
+    /// The Table-2 metrics and modelled execution time.
+    pub report: PartitionReport,
+}
+
+impl CellResult {
+    /// Whether two results are bit-identical: same cell, same
+    /// assignment, and exactly equal Table-2 metrics (the partitioners
+    /// and metrics are integer/deterministic-float pipelines, so exact
+    /// comparison is the correct notion — any drift is a bug).
+    pub fn identical(&self, other: &CellResult) -> bool {
+        self.cell == other.cell
+            && self.partition == other.partition
+            && self.report.lb_nelemd == other.report.lb_nelemd
+            && self.report.lb_spcv == other.report.lb_spcv
+            && self.report.tcv_mbytes == other.report.tcv_mbytes
+            && self.report.edgecut == other.report.edgecut
+            && self.report.time_us == other.report.time_us
+    }
+}
+
+/// The methods the experiment grid sweeps, in report order (the paper's
+/// SFC vs the three METIS baselines).
+pub const GRID_METHODS: [PartitionMethod; 4] = [
+    PartitionMethod::Sfc,
+    PartitionMethod::MetisKway,
+    PartitionMethod::MetisTv,
+    PartitionMethod::MetisRb,
+];
+
+/// The grid cells of one Table-1 resolution: every method at every
+/// equal-share processor count, thinned to at most `max_points` counts
+/// (keeping the largest, where the paper's effect lives).
+pub fn cells_for(res: &Resolution, max_points: usize) -> Vec<ExperimentCell> {
+    let mut procs = res.equal_share_procs();
+    if procs.len() > max_points && max_points > 0 {
+        let skip = procs.len() - max_points;
+        procs.drain(1..1 + skip);
+    }
+    let mut cells = Vec::with_capacity(procs.len() * GRID_METHODS.len());
+    for nproc in procs {
+        for method in GRID_METHODS {
+            cells.push(ExperimentCell {
+                ne: res.ne,
+                nproc,
+                method,
+            });
+        }
+    }
+    cells
+}
+
+/// The full paper grid: [`cells_for`] over every Table-1 row.
+pub fn paper_grid(max_points_per_resolution: usize) -> Vec<ExperimentCell> {
+    crate::experiment::table1()
+        .iter()
+        .flat_map(|r| cells_for(r, max_points_per_resolution))
+        .collect()
+}
+
+/// Worker count for parallel runs: `flag` (the CLI's `--jobs`) wins,
+/// then the `CUBESFC_JOBS` environment variable; 0 or unset means the
+/// automatic default. Returns the resolved value.
+pub fn resolve_jobs(flag: Option<usize>) -> usize {
+    flag.or_else(|| {
+        std::env::var("CUBESFC_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    })
+    .unwrap_or(0)
+}
+
+/// Apply a worker count to the process-global pool (0 = automatic).
+pub fn set_jobs(jobs: usize) {
+    rayon::set_num_threads(jobs);
+}
+
+/// The experiment engine: a [`MeshCache`] plus the machine and cost
+/// models every report uses.
+pub struct ExperimentEngine {
+    cache: MeshCache,
+    machine: MachineModel,
+    cost: CostModel,
+    options: PartitionOptions,
+}
+
+impl ExperimentEngine {
+    /// An engine with the paper's models (NCAR P690, SEAM climate) and
+    /// default partition options.
+    pub fn new() -> ExperimentEngine {
+        ExperimentEngine::with_models(MachineModel::ncar_p690(), CostModel::seam_climate())
+    }
+
+    /// An engine with explicit models.
+    pub fn with_models(machine: MachineModel, cost: CostModel) -> ExperimentEngine {
+        ExperimentEngine {
+            cache: MeshCache::new(),
+            machine,
+            cost,
+            options: PartitionOptions::default(),
+        }
+    }
+
+    /// Override the partition options (seed, tolerance, weights) applied
+    /// to every cell.
+    pub fn with_options(mut self, options: PartitionOptions) -> ExperimentEngine {
+        self.options = options;
+        self
+    }
+
+    /// The engine's mesh cache (for inspection and pre-warming).
+    pub fn cache(&self) -> &MeshCache {
+        &self.cache
+    }
+
+    /// Run one cell against the cache.
+    pub fn run_cell(&self, cell: ExperimentCell) -> Result<CellResult, PartitionError> {
+        let bundle = self.cache.bundle(cell.ne);
+        let partition = partition_with_graph(
+            &bundle.mesh,
+            &bundle.graph,
+            cell.method,
+            cell.nproc,
+            &self.options,
+        )?;
+        let report = PartitionReport::from_partition_with_graph(
+            &bundle.graph,
+            cell.method,
+            &partition,
+            &self.machine,
+            &self.cost,
+        );
+        cubesfc_obs::counter_add("experiment/cells", 1);
+        Ok(CellResult {
+            cell,
+            partition,
+            report,
+        })
+    }
+
+    /// Build every distinct resolution of `cells` into the cache, on the
+    /// calling thread. Both run paths do this first, so the expensive
+    /// mesh builds are neither raced by the whole pool at startup nor a
+    /// source of registry differences between serial and pooled runs.
+    fn prewarm(&self, cells: &[ExperimentCell]) {
+        let mut nes: Vec<usize> = cells.iter().map(|c| c.ne).collect();
+        nes.sort_unstable();
+        nes.dedup();
+        for ne in nes {
+            self.cache.bundle(ne);
+        }
+    }
+
+    /// Run the grid serially on the calling thread — the reference
+    /// implementation parallel runs must match bit-for-bit.
+    pub fn run_serial(&self, cells: &[ExperimentCell]) -> Result<Vec<CellResult>, PartitionError> {
+        self.prewarm(cells);
+        cells.iter().map(|&c| self.run_cell(c)).collect()
+    }
+
+    /// Run the grid on the rayon pool. Results come back in input cell
+    /// order and are bit-identical to [`ExperimentEngine::run_serial`] —
+    /// down to the merged observability registry, whose counters and
+    /// span-call counts reproduce the serial run's exactly.
+    pub fn run(&self, cells: &[ExperimentCell]) -> Result<Vec<CellResult>, PartitionError> {
+        self.prewarm(cells);
+        cells
+            .par_iter()
+            .map(|&c| self.run_cell(c))
+            .collect()
+            .into_iter()
+            .collect()
+    }
+}
+
+impl Default for ExperimentEngine {
+    fn default() -> Self {
+        ExperimentEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_memoizes_bundles() {
+        let cache = MeshCache::new();
+        assert!(cache.is_empty());
+        let a = cache.bundle(4);
+        let b = cache.bundle(4);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.graph.nv(), 96);
+        cache.bundle(2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cells_cover_methods_times_procs() {
+        let res = Resolution::for_ne(8, 768).unwrap();
+        let cells = cells_for(&res, 6);
+        assert_eq!(cells.len(), 6 * GRID_METHODS.len());
+        // Thinning keeps 1 and the largest counts.
+        assert_eq!(cells[0].nproc, 1);
+        assert_eq!(cells.last().unwrap().nproc, 384);
+        let full = cells_for(&res, usize::MAX);
+        assert_eq!(full.len(), res.equal_share_procs().len() * 4);
+    }
+
+    #[test]
+    fn paper_grid_spans_all_resolutions() {
+        let cells = paper_grid(3);
+        let nes: std::collections::BTreeSet<usize> = cells.iter().map(|c| c.ne).collect();
+        assert_eq!(nes.into_iter().collect::<Vec<_>>(), vec![8, 9, 16, 18]);
+        assert_eq!(cells.len(), 4 * 3 * GRID_METHODS.len());
+    }
+
+    #[test]
+    fn engine_matches_direct_reports() {
+        let engine = ExperimentEngine::new();
+        let cell = ExperimentCell {
+            ne: 4,
+            nproc: 8,
+            method: PartitionMethod::MetisKway,
+        };
+        let r = engine.run_cell(cell).unwrap();
+        let mesh = CubedSphere::new(4);
+        let direct = PartitionReport::compute(
+            &mesh,
+            cell.method,
+            cell.nproc,
+            &MachineModel::ncar_p690(),
+            &CostModel::seam_climate(),
+        )
+        .unwrap();
+        assert_eq!(r.report.edgecut, direct.edgecut);
+        assert_eq!(r.report.time_us, direct.time_us);
+        assert_eq!(r.report.lb_nelemd, direct.lb_nelemd);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let engine = ExperimentEngine::new();
+        let res = Resolution::for_ne(4, 768).unwrap();
+        let cells = cells_for(&res, 5);
+        let serial = engine.run_serial(&cells).unwrap();
+        let parallel = engine.run(&cells).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!(s.identical(p), "cell {:?} diverged", s.cell);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_cells() {
+        let engine = ExperimentEngine::new();
+        let bad = ExperimentCell {
+            ne: 2,
+            nproc: 1000,
+            method: PartitionMethod::Sfc,
+        };
+        assert!(matches!(
+            engine.run(&[bad]),
+            Err(PartitionError::TooManyParts { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_jobs_precedence() {
+        // Flag wins over everything; without a flag the env var decides.
+        // (Env mutation is process-global: keep it inside one test.)
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        std::env::set_var("CUBESFC_JOBS", "5");
+        assert_eq!(resolve_jobs(Some(2)), 2);
+        assert_eq!(resolve_jobs(None), 5);
+        std::env::set_var("CUBESFC_JOBS", "not-a-number");
+        assert_eq!(resolve_jobs(None), 0);
+        std::env::remove_var("CUBESFC_JOBS");
+        assert_eq!(resolve_jobs(None), 0);
+    }
+}

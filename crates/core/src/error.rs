@@ -19,10 +19,20 @@ pub enum PartitionError {
     /// Zero processors requested.
     ZeroParts,
     /// A weighted split was requested with a weight vector of the wrong
-    /// length or zero total weight.
+    /// length, negative entries, or zero total weight.
     BadWeights {
         /// Explanation.
         reason: &'static str,
+    },
+    /// A weight vector contains a NaN or infinite entry. Distinct from
+    /// [`PartitionError::BadWeights`] because non-finite values are
+    /// almost always an upstream computation bug (a 0/0, an overflowed
+    /// cost model) rather than a malformed request — and because a NaN
+    /// passes `w < 0.0` sign checks, it would otherwise silently corrupt
+    /// the prefix-sum split instead of failing loudly.
+    NonFiniteWeight {
+        /// Index of the first offending element weight.
+        index: usize,
     },
 }
 
@@ -35,6 +45,9 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::ZeroParts => write!(f, "processor count must be positive"),
             PartitionError::BadWeights { reason } => write!(f, "bad weights: {reason}"),
+            PartitionError::NonFiniteWeight { index } => {
+                write!(f, "weight at element {index} is NaN or infinite")
+            }
         }
     }
 }

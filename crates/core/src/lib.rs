@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod partitioner;
@@ -54,11 +55,15 @@ pub mod report;
 pub mod sfc_partition;
 pub mod viz;
 
+pub use engine::{
+    cells_for, paper_grid, resolve_jobs, set_jobs, CellResult, ExperimentCell, ExperimentEngine,
+    MeshBundle, MeshCache,
+};
 pub use error::PartitionError;
 pub use experiment::{table1, Resolution, NCAR_P690_MAX_PROCS};
 pub use partitioner::{
-    partition, partition_default, partition_sfc_with_schedule, to_csr, PartitionMethod,
-    PartitionOptions,
+    partition, partition_default, partition_sfc_with_schedule, partition_with_graph, to_csr,
+    PartitionMethod, PartitionOptions,
 };
 pub use rcb::partition_rcb;
 pub use repartition::{matched_migration, migration_fraction, raw_migration};

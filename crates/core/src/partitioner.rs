@@ -126,6 +126,34 @@ pub fn partition(
     nproc: usize,
     opts: &PartitionOptions,
 ) -> Result<Partition, PartitionError> {
+    partition_impl(mesh, None, method, nproc, opts)
+}
+
+/// [`partition`] with a pre-built dual graph in CSR form.
+///
+/// The METIS-family methods consume `g` directly instead of rebuilding
+/// the dual graph — the difference between O(K) and O(1) graph builds
+/// when one mesh is partitioned many times, as in the experiment sweeps.
+/// `g` must be the dual graph of `mesh` (same vertex count, element-id
+/// ordering, and exchange weights as `mesh.dual_graph(opts.exchange)`);
+/// the SFC-family methods ignore it.
+pub fn partition_with_graph(
+    mesh: &CubedSphere,
+    g: &CsrGraph,
+    method: PartitionMethod,
+    nproc: usize,
+    opts: &PartitionOptions,
+) -> Result<Partition, PartitionError> {
+    partition_impl(mesh, Some(g), method, nproc, opts)
+}
+
+fn partition_impl(
+    mesh: &CubedSphere,
+    prebuilt: Option<&CsrGraph>,
+    method: PartitionMethod,
+    nproc: usize,
+    opts: &PartitionOptions,
+) -> Result<Partition, PartitionError> {
     let _span = cubesfc_obs::span("partition");
     cubesfc_obs::counter_add("partition/calls", 1);
     let k = mesh.num_elems();
@@ -159,34 +187,62 @@ pub fn partition(
         }
         PartitionMethod::Rcb => crate::rcb::partition_rcb(mesh, nproc),
         PartitionMethod::MetisKway | PartitionMethod::MetisTv | PartitionMethod::MetisRb => {
-            let g = {
-                let _span = cubesfc_obs::span("dualgraph");
-                let mut dg = mesh.dual_graph(opts.exchange);
-                if let Some(w) = &opts.weights {
-                    if w.len() != k {
-                        return Err(PartitionError::BadWeights {
-                            reason: "weight vector length must equal element count",
-                        });
-                    }
-                    // Scale to integer weights for the graph partitioner.
-                    dg.vwgt = w
-                        .iter()
-                        .map(|&x| (x.max(0.0) * 16.0).round() as u32 + 1)
-                        .collect();
+            let vwgt = match &opts.weights {
+                None => None,
+                Some(w) => Some(integer_vertex_weights(w, k)?),
+            };
+            // A prebuilt graph is used as-is unless the weights replace
+            // its vertex weights (then only vwgt is cloned, never the
+            // O(E) adjacency).
+            let owned: Option<CsrGraph>;
+            let g: &CsrGraph = match (prebuilt, vwgt) {
+                (Some(g), None) => g,
+                (Some(g), Some(vwgt)) => {
+                    let mut gw = g.clone();
+                    gw.vwgt = vwgt;
+                    owned = Some(gw);
+                    owned.as_ref().unwrap()
                 }
-                to_csr(&dg)
+                (None, vwgt) => {
+                    let _span = cubesfc_obs::span("dualgraph");
+                    let mut dg = mesh.dual_graph(opts.exchange);
+                    if let Some(vwgt) = vwgt {
+                        dg.vwgt = vwgt;
+                    }
+                    owned = Some(to_csr(&dg));
+                    owned.as_ref().unwrap()
+                }
             };
             let cfg = PartitionConfig::new(nproc)
                 .with_seed(opts.graph_config.seed)
                 .with_ub_factor(opts.graph_config.ub_factor);
             Ok(match method {
-                PartitionMethod::MetisKway => kway(&g, &cfg),
-                PartitionMethod::MetisTv => kway_volume(&g, &cfg),
-                PartitionMethod::MetisRb => recursive_bisection(&g, &cfg),
+                PartitionMethod::MetisKway => kway(g, &cfg),
+                PartitionMethod::MetisTv => kway_volume(g, &cfg),
+                PartitionMethod::MetisRb => recursive_bisection(g, &cfg),
                 _ => unreachable!(),
             })
         }
     }
+}
+
+/// Scale real-valued work weights to the integer vertex weights the
+/// graph partitioner uses, validating them first: a NaN would pass the
+/// old `x.max(0.0)` clamp as 0 and an infinity would saturate the `u32`
+/// cast and overflow the `+ 1` — both silently corrupting the balance
+/// targets instead of erroring.
+fn integer_vertex_weights(w: &[f64], k: usize) -> Result<Vec<u32>, PartitionError> {
+    if w.len() != k {
+        return Err(PartitionError::BadWeights {
+            reason: "weight vector length must equal element count",
+        });
+    }
+    if let Some(index) = w.iter().position(|x| !x.is_finite()) {
+        return Err(PartitionError::NonFiniteWeight { index });
+    }
+    Ok(w.iter()
+        .map(|&x| (x.max(0.0) * 16.0).round().min(u32::MAX as f64 - 1.0) as u32 + 1)
+        .collect())
 }
 
 /// A Morton-order "curve" over the six faces: each face in the standard
@@ -298,6 +354,57 @@ mod tests {
         opts.weights = Some(vec![1.0; 7]);
         assert!(partition(&mesh, PartitionMethod::MetisKway, 8, &opts).is_err());
         assert!(partition(&mesh, PartitionMethod::Sfc, 8, &opts).is_err());
+    }
+
+    #[test]
+    fn non_finite_weights_rejected_on_every_method() {
+        // The graph path used to clamp NaN to weight 1 (NaN.max(0.0) is
+        // 0.0) and saturate +inf to u32::MAX — silently corrupting the
+        // balance targets. Both must now fail with the distinct variant,
+        // on the SFC path and the graph path alike.
+        let mesh = CubedSphere::new(4);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut w = vec![1.0; 96];
+            w[17] = bad;
+            let opts = PartitionOptions {
+                weights: Some(w),
+                ..Default::default()
+            };
+            for m in PartitionMethod::ALL {
+                if m == PartitionMethod::Rcb {
+                    continue; // RCB ignores work weights entirely
+                }
+                let r = partition(&mesh, m, 8, &opts);
+                assert_eq!(
+                    r.unwrap_err(),
+                    crate::PartitionError::NonFiniteWeight { index: 17 },
+                    "method {m}, weight {bad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_with_graph_matches_partition() {
+        let mesh = CubedSphere::new(4);
+        let g = to_csr(&mesh.dual_graph(Default::default()));
+        let opts = PartitionOptions::default();
+        for m in PartitionMethod::ALL {
+            let a = partition(&mesh, m, 8, &opts).unwrap();
+            let b = partition_with_graph(&mesh, &g, m, 8, &opts).unwrap();
+            assert_eq!(a, b, "{m}");
+        }
+        // Weighted graph path too: the cached adjacency is reused with
+        // swapped vertex weights.
+        let opts = PartitionOptions {
+            weights: Some((0..96).map(|i| 1.0 + (i % 3) as f64).collect()),
+            ..Default::default()
+        };
+        for m in [PartitionMethod::MetisKway, PartitionMethod::MetisRb] {
+            let a = partition(&mesh, m, 8, &opts).unwrap();
+            let b = partition_with_graph(&mesh, &g, m, 8, &opts).unwrap();
+            assert_eq!(a, b, "{m}");
+        }
     }
 
     #[test]

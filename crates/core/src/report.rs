@@ -3,7 +3,7 @@
 use crate::partitioner::{partition, to_csr, PartitionMethod, PartitionOptions};
 use crate::PartitionError;
 use cubesfc_graph::metrics::partition_stats;
-use cubesfc_graph::Partition;
+use cubesfc_graph::{CsrGraph, Partition};
 use cubesfc_mesh::CubedSphere;
 use cubesfc_seam::{evaluate, CostModel, MachineModel, PerfReport};
 use std::fmt;
@@ -41,13 +41,29 @@ impl PartitionReport {
         machine: &MachineModel,
         cost: &CostModel,
     ) -> PartitionReport {
-        let _span = cubesfc_obs::span("report");
         let g = {
             let _span = cubesfc_obs::span("dualgraph");
             to_csr(&mesh.dual_graph(Default::default()))
         };
-        let stats = partition_stats(&g, part);
-        let perf = evaluate(&g, part, machine, cost);
+        PartitionReport::from_partition_with_graph(&g, method, part, machine, cost)
+    }
+
+    /// Evaluate a ready-made partition against a pre-built dual graph
+    /// (`mesh.dual_graph(Default::default())` in CSR form).
+    ///
+    /// All the Table-2 metrics are functions of the dual graph and the
+    /// partition alone; passing the graph in lets sweeps that evaluate
+    /// hundreds of partitions of one mesh build it exactly once.
+    pub fn from_partition_with_graph(
+        g: &CsrGraph,
+        method: PartitionMethod,
+        part: &Partition,
+        machine: &MachineModel,
+        cost: &CostModel,
+    ) -> PartitionReport {
+        let _span = cubesfc_obs::span("report");
+        let stats = partition_stats(g, part);
+        let perf = evaluate(g, part, machine, cost);
         PartitionReport {
             method,
             nproc: part.nparts(),
@@ -71,6 +87,29 @@ impl PartitionReport {
         let part = partition(mesh, method, nproc, &PartitionOptions::default())?;
         Ok(PartitionReport::from_partition(
             mesh, method, &part, machine, cost,
+        ))
+    }
+
+    /// [`PartitionReport::compute`] against a cached dual graph: both the
+    /// partitioning (for the METIS-family methods) and the metrics reuse
+    /// `g` instead of rebuilding it.
+    pub fn compute_with_graph(
+        mesh: &CubedSphere,
+        g: &CsrGraph,
+        method: PartitionMethod,
+        nproc: usize,
+        machine: &MachineModel,
+        cost: &CostModel,
+    ) -> Result<PartitionReport, PartitionError> {
+        let part = crate::partitioner::partition_with_graph(
+            mesh,
+            g,
+            method,
+            nproc,
+            &PartitionOptions::default(),
+        )?;
+        Ok(PartitionReport::from_partition_with_graph(
+            g, method, &part, machine, cost,
         ))
     }
 

@@ -64,9 +64,16 @@ pub fn partition_curve_weighted(
             reason: "weight vector length must equal element count",
         });
     }
-    if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+    // Non-finite weights get their own error: a NaN passes every `< 0.0`
+    // sign check (all comparisons on NaN are false) and an infinity makes
+    // `total` infinite, so either would silently break the prefix-sum
+    // split targets below instead of failing at the boundary.
+    if let Some(index) = weights.iter().position(|w| !w.is_finite()) {
+        return Err(PartitionError::NonFiniteWeight { index });
+    }
+    if weights.iter().any(|&w| w < 0.0) {
         return Err(PartitionError::BadWeights {
-            reason: "weights must be finite and non-negative",
+            reason: "weights must be non-negative",
         });
     }
     let total: f64 = weights.iter().sum();
@@ -224,8 +231,49 @@ mod tests {
         assert!(partition_curve_weighted(&c, 2, &[1.0; 5]).is_err());
         assert!(partition_curve_weighted(&c, 2, &[0.0; 24]).is_err());
         assert!(partition_curve_weighted(&c, 2, &[-1.0; 24]).is_err());
+    }
+
+    #[test]
+    fn non_finite_weights_are_a_distinct_error() {
+        let c = curve(2);
+        // NaN passes a bare `w < 0.0` sign check; it must be caught by
+        // the finiteness check and reported with the offending index.
         let mut w = vec![1.0; 24];
         w[3] = f64::NAN;
-        assert!(partition_curve_weighted(&c, 2, &w).is_err());
+        assert_eq!(
+            partition_curve_weighted(&c, 2, &w),
+            Err(PartitionError::NonFiniteWeight { index: 3 })
+        );
+        w[3] = f64::INFINITY;
+        assert_eq!(
+            partition_curve_weighted(&c, 2, &w),
+            Err(PartitionError::NonFiniteWeight { index: 3 })
+        );
+        w[3] = f64::NEG_INFINITY;
+        assert_eq!(
+            partition_curve_weighted(&c, 2, &w),
+            Err(PartitionError::NonFiniteWeight { index: 3 })
+        );
+        // The finiteness check reports the *first* bad entry.
+        w[1] = f64::NAN;
+        assert_eq!(
+            partition_curve_weighted(&c, 2, &w),
+            Err(PartitionError::NonFiniteWeight { index: 1 })
+        );
+    }
+
+    #[test]
+    fn subnormal_weights_are_valid() {
+        let c = curve(2);
+        // Subnormals are finite and non-negative: a legal (if extreme)
+        // weighting. Their sum is still positive, so the split proceeds
+        // and every part stays non-empty.
+        let w = vec![f64::MIN_POSITIVE / 4.0; 24]; // subnormal
+        assert!(w[0] > 0.0 && !w[0].is_normal());
+        let p = partition_curve_weighted(&c, 6, &w).unwrap();
+        assert_eq!(p.nonempty_parts(), 6);
+        // Uniform subnormal weights behave like uniform unit weights.
+        let u = partition_curve(&c, 6).unwrap();
+        assert_eq!(p.part_sizes(), u.part_sizes());
     }
 }

@@ -49,18 +49,42 @@ pub fn multilevel_bisect(
     parts
 }
 
+/// Below this many vertices a sub-bisection is not worth a fork: the
+/// subgraph extraction + multilevel solve is microseconds-scale and the
+/// join overhead would dominate.
+const RB_PARALLEL_MIN_VERTS: usize = 192;
+
 /// Recursive bisection into `cfg.nparts` parts.
 ///
 /// At each step the remaining part range `[lo, hi)` is split as evenly as
 /// possible (`⌊k/2⌋` vs `⌈k/2⌉`) with the part-0 weight fraction matching
 /// the part-count split, so non-power-of-two part counts are handled.
+///
+/// The two sub-bisections of each step are independent, so they recurse
+/// as parallel `rayon::join` jobs (the job-level parallelism METIS itself
+/// exploits in recursive bisection). Every branch seeds its RNG from its
+/// position in the bisection tree — not from whatever its siblings drew —
+/// so the result is **bit-identical** to [`recursive_bisection_serial`]
+/// no matter how many worker threads run.
 pub fn recursive_bisection(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
+    rb_partition(g, cfg, true)
+}
+
+/// [`recursive_bisection`] with the parallel recursion disabled — same
+/// partition, one thread. Exists so tests (and scaling benchmarks) can
+/// prove the parallel path is bit-identical.
+pub fn recursive_bisection_serial(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
+    rb_partition(g, cfg, false)
+}
+
+fn rb_partition(g: &CsrGraph, cfg: &PartitionConfig, parallel: bool) -> Partition {
     let _span = cubesfc_obs::span("rb");
     assert!(cfg.nparts >= 1, "nparts must be positive");
-    let mut assign = vec![0u32; g.nv()];
-    let mut rng = SplitMix64::new(cfg.seed);
     let all: Vec<u32> = (0..g.nv() as u32).collect();
-    rb_recurse(g, &all, 0, cfg.nparts, cfg, &mut rng, &mut assign);
+    let mut assign = vec![0u32; g.nv()];
+    for (v, p) in rb_recurse(g, &all, 0, cfg.nparts, cfg, 1, parallel) {
+        assign[v as usize] = p;
+    }
     // Per-level slack can still stack through ~log2(k) levels; enforce the
     // *global* tolerance at the end, as METIS does.
     let target = g.total_vwgt() / cfg.nparts as u64;
@@ -73,23 +97,33 @@ pub fn recursive_bisection(g: &CsrGraph, cfg: &PartitionConfig) -> Partition {
     Partition::new(cfg.nparts, assign)
 }
 
+/// The RNG of one bisection-tree node, derived from the node's root-path
+/// (`1` for the root, `path·2 + branch` for children). Sibling subtrees
+/// draw from disjoint streams, which is what makes the parallel
+/// recursion order-independent.
+fn branch_rng(seed: u64, path: u64) -> SplitMix64 {
+    let mut mixer = SplitMix64::new(seed ^ path.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let derived = mixer.next_u64();
+    SplitMix64::new(derived)
+}
+
+/// Bisect `verts` into parts `[lo, lo + k)`; returns `(vertex, part)`
+/// assignments. Pure in `(g, verts, lo, k, cfg, path)` — execution
+/// interleaving cannot change the result.
 fn rb_recurse(
     g: &CsrGraph,
     verts: &[u32],
     lo: usize,
     k: usize,
     cfg: &PartitionConfig,
-    rng: &mut SplitMix64,
-    assign: &mut [u32],
-) {
+    path: u64,
+    parallel: bool,
+) -> Vec<(u32, u32)> {
     if k == 1 || verts.is_empty() {
         // Degenerate recursion: fewer vertices than parts leaves the
         // remaining parts empty (possible when k approaches n, as in the
         // paper's one-element-per-processor runs).
-        for &v in verts {
-            assign[v as usize] = lo as u32;
-        }
-        return;
+        return verts.iter().map(|&v| (v, lo as u32)).collect();
     }
     let (sub, map) = g.subgraph(verts);
     let k0 = k / 2;
@@ -102,7 +136,8 @@ fn rb_recurse(
         ub_factor: cfg.ub_factor.min(1.001),
         ..*cfg
     };
-    let parts = multilevel_bisect(&sub, frac0, &level_cfg, rng);
+    let mut rng = branch_rng(cfg.seed, path);
+    let parts = multilevel_bisect(&sub, frac0, &level_cfg, &mut rng);
 
     let mut side0 = Vec::new();
     let mut side1 = Vec::new();
@@ -113,8 +148,15 @@ fn rb_recurse(
             side1.push(map[l]);
         }
     }
-    rb_recurse(g, &side0, lo, k0, cfg, rng, assign);
-    rb_recurse(g, &side1, lo + k0, k - k0, cfg, rng, assign);
+    let recurse0 = || rb_recurse(g, &side0, lo, k0, cfg, path << 1, parallel);
+    let recurse1 = || rb_recurse(g, &side1, lo + k0, k - k0, cfg, (path << 1) | 1, parallel);
+    let (mut r0, r1) = if parallel && verts.len() >= RB_PARALLEL_MIN_VERTS && k >= 4 {
+        rayon::join(recurse0, recurse1)
+    } else {
+        (recurse0(), recurse1())
+    };
+    r0.extend(r1);
+    r0
 }
 
 #[cfg(test)]
@@ -183,6 +225,25 @@ mod tests {
         let sizes = p.part_sizes();
         assert!(sizes.iter().all(|&s| s <= 2), "{sizes:?}");
         assert_eq!(sizes.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn rb_parallel_is_bit_identical_to_serial() {
+        // Big enough that the top levels really fork (576 ≥ threshold),
+        // across several seeds and part counts including a non-power-of-2.
+        let g = grid(24, 24);
+        for seed in [1u64, 42, 0xD15EA5E] {
+            for k in [4usize, 6, 16] {
+                let cfg = PartitionConfig::new(k).with_seed(seed);
+                let par = recursive_bisection(&g, &cfg);
+                let ser = recursive_bisection_serial(&g, &cfg);
+                assert_eq!(
+                    par.assignment(),
+                    ser.assignment(),
+                    "seed={seed} k={k}: parallel RB diverged from serial"
+                );
+            }
+        }
     }
 
     #[test]

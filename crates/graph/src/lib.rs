@@ -42,14 +42,16 @@ pub mod csr;
 pub mod fm;
 pub mod initial;
 pub mod kway;
+pub mod marker;
 pub mod metrics;
 pub mod partition;
 pub mod rng;
 pub mod tv;
 
-pub use bisect::{multilevel_bisect, recursive_bisection};
+pub use bisect::{multilevel_bisect, recursive_bisection, recursive_bisection_serial};
 pub use csr::{CsrGraph, GraphError};
 pub use kway::kway;
+pub use marker::Marker;
 pub use metrics::{load_balance, partition_stats, PartitionStats};
 pub use partition::{Partition, PartitionConfig};
 pub use rng::SplitMix64;

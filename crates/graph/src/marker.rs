@@ -1,0 +1,119 @@
+//! An epoch-stamped marker array: a reusable "have I seen this index
+//! yet?" set with O(1) insert/query and O(1) clear.
+//!
+//! The partition-quality metrics and the TV gain scans repeatedly need
+//! tiny distinct-sets over part ids inside per-vertex loops. A `Vec` +
+//! `contains` is O(deg·parts-touched) per vertex; a hash set allocates.
+//! The classic alternative is a stamp array: `stamp[i] == epoch` means
+//! "`i` is in the set", and bumping the epoch empties the set without
+//! touching memory. One `Marker` can therefore be reused across millions
+//! of per-vertex scans with a single allocation.
+
+/// A reusable stamped set over `0..len`.
+#[derive(Clone, Debug)]
+pub struct Marker {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Marker {
+    /// A marker over the index domain `0..n`. No index is marked.
+    pub fn new(n: usize) -> Marker {
+        Marker {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// The index domain size.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Grow the domain to at least `n` (new indices start unmarked).
+    pub fn ensure(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Empty the set in O(1) by advancing the epoch.
+    pub fn clear(&mut self) {
+        // On (unrealistic) u32 wraparound, hard-reset the stamps so a
+        // stale stamp from 4 billion epochs ago can never read as marked.
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// Mark `i`; returns `true` when `i` was not yet marked this epoch.
+    #[inline]
+    pub fn mark(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `i` is marked this epoch.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_is_idempotent_per_epoch() {
+        let mut m = Marker::new(4);
+        assert!(m.mark(2));
+        assert!(!m.mark(2));
+        assert!(m.is_marked(2));
+        assert!(!m.is_marked(3));
+    }
+
+    #[test]
+    fn clear_empties_without_touching_memory() {
+        let mut m = Marker::new(3);
+        m.mark(0);
+        m.mark(1);
+        m.clear();
+        assert!(!m.is_marked(0));
+        assert!(!m.is_marked(1));
+        assert!(m.mark(0));
+    }
+
+    #[test]
+    fn ensure_grows_domain() {
+        let mut m = Marker::new(2);
+        m.ensure(10);
+        assert_eq!(m.len(), 10);
+        assert!(m.mark(9));
+    }
+
+    #[test]
+    fn epoch_wraparound_never_resurrects_marks() {
+        let mut m = Marker::new(2);
+        m.mark(0);
+        // Force the wrap path.
+        m.epoch = u32::MAX;
+        m.mark(1);
+        m.clear();
+        assert!(!m.is_marked(0));
+        assert!(!m.is_marked(1));
+    }
+}

@@ -17,38 +17,51 @@
 
 use crate::csr::CsrGraph;
 use crate::kway::kway;
+use crate::marker::Marker;
 use crate::partition::{weight_cap, Partition, PartitionConfig};
 use crate::rng::SplitMix64;
 
 /// Volume contribution of vertex `v` under `parts`: the number of
-/// distinct parts other than `parts[v]` among its neighbours.
-fn vertex_volume(g: &CsrGraph, parts: &[u32], v: usize, own: u32) -> u32 {
-    // Degrees are tiny (≤ 8 on the cubed-sphere dual graph), so a linear
-    // distinct-scan beats any hashing.
-    let mut distinct: Vec<u32> = Vec::with_capacity(8);
+/// distinct parts other than `own` among its neighbours. `seen` is a
+/// reusable stamped marker over part ids (cleared here).
+fn vertex_volume(g: &CsrGraph, parts: &[u32], v: usize, own: u32, seen: &mut Marker) -> u32 {
+    let mut distinct = 0u32;
+    seen.clear();
     for (n, _) in g.neighbors(v) {
         let p = parts[n];
-        if p != own && !distinct.contains(&p) {
-            distinct.push(p);
+        if p != own && seen.mark(p as usize) {
+            distinct += 1;
         }
     }
-    distinct.len() as u32
+    distinct
 }
 
 /// Exact change in total communication volume if `v` moves to `to`.
 ///
+/// Convenience wrapper over [`volume_delta_with`] that allocates its own
+/// scratch marker; hot loops should hold a [`Marker`] and call
+/// [`volume_delta_with`] instead.
+pub fn volume_delta(g: &CsrGraph, parts: &[u32], v: usize, to: u32) -> i64 {
+    let nparts = parts.iter().copied().max().map_or(0, |p| p as usize + 1);
+    let mut seen = Marker::new(nparts.max(to as usize + 1));
+    volume_delta_with(g, parts, v, to, &mut seen)
+}
+
+/// Exact change in total communication volume if `v` moves to `to`,
+/// using caller-provided scratch.
+///
 /// Affects `v`'s own contribution and the contributions of each of its
 /// neighbours (for whom `v`'s part membership may add or remove a distinct
 /// remote part).
-pub fn volume_delta(g: &CsrGraph, parts: &[u32], v: usize, to: u32) -> i64 {
+pub fn volume_delta_with(g: &CsrGraph, parts: &[u32], v: usize, to: u32, seen: &mut Marker) -> i64 {
     let from = parts[v];
     if from == to {
         return 0;
     }
     let mut delta = 0i64;
     // v's own contribution before/after.
-    delta -= vertex_volume(g, parts, v, from) as i64;
-    delta += post_move_vertex_volume(g, parts, v, to);
+    delta -= vertex_volume(g, parts, v, from, seen) as i64;
+    delta += post_move_vertex_volume(g, parts, v, to, seen);
 
     // Neighbours: does `from` remain among their remote parts? does `to`
     // become new?
@@ -83,15 +96,22 @@ pub fn volume_delta(g: &CsrGraph, parts: &[u32], v: usize, to: u32) -> i64 {
 }
 
 /// `v`'s own volume contribution after a hypothetical move to `to`.
-fn post_move_vertex_volume(g: &CsrGraph, parts: &[u32], v: usize, to: u32) -> i64 {
-    let mut distinct: Vec<u32> = Vec::with_capacity(8);
+fn post_move_vertex_volume(
+    g: &CsrGraph,
+    parts: &[u32],
+    v: usize,
+    to: u32,
+    seen: &mut Marker,
+) -> i64 {
+    let mut distinct = 0i64;
+    seen.clear();
     for (n, _) in g.neighbors(v) {
         let p = parts[n];
-        if p != to && !distinct.contains(&p) {
-            distinct.push(p);
+        if p != to && seen.mark(p as usize) {
+            distinct += 1;
         }
     }
-    distinct.len() as i64
+    distinct
 }
 
 /// Greedy volume refinement, in place. Returns the number of moves made.
@@ -109,6 +129,10 @@ pub fn volume_refine(
         weights[p as usize] += g.vwgt[v] as u64;
     }
     let mut total_moves = 0;
+    // Reusable stamped markers: candidate dedup and the delta scans.
+    let mut cand_seen = Marker::new(nparts);
+    let mut delta_seen = Marker::new(nparts);
+    let mut cands: Vec<u32> = Vec::with_capacity(8);
     for _ in 0..passes {
         let mut moves = 0;
         for &vv in &rng.permutation(nv) {
@@ -116,10 +140,11 @@ pub fn volume_refine(
             let from = parts[v] as usize;
             let vw = g.vwgt[v] as u64;
             // Candidate destinations: the parts of v's neighbours.
-            let mut cands: Vec<u32> = Vec::with_capacity(8);
+            cands.clear();
+            cand_seen.clear();
             for (n, _) in g.neighbors(v) {
                 let p = parts[n];
-                if p as usize != from && !cands.contains(&p) {
+                if p as usize != from && cand_seen.mark(p as usize) {
                     cands.push(p);
                 }
             }
@@ -128,7 +153,7 @@ pub fn volume_refine(
                 if weights[to as usize] + vw > cap {
                     continue;
                 }
-                let d = volume_delta(g, parts, v, to);
+                let d = volume_delta_with(g, parts, v, to, &mut delta_seen);
                 let better = match best {
                     None => d < 0 || (d == 0 && weights[to as usize] + vw < weights[from]),
                     Some((bd, bt)) => {

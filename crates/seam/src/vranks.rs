@@ -50,12 +50,25 @@ pub struct RunStats {
 /// applied to measured per-rank seconds. 0 is perfect balance; values
 /// toward 1 mean the slowest rank dominates.
 pub(crate) fn measured_lb(per_rank: &[f64]) -> f64 {
-    let max = per_rank.iter().cloned().fold(0.0f64, f64::max);
-    if per_rank.is_empty() || max <= 0.0 {
+    // Restrict to the finite entries. `Instant`-based timings are finite
+    // by construction, but Eq. (1) is also applied to modelled seconds —
+    // and a NaN there slips straight through `f64::max` (which *ignores*
+    // NaN operands, so `max` looks healthy) while poisoning the average,
+    // leaking NaN into summaries and regression comparisons.
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for &t in per_rank {
+        if t.is_finite() {
+            max = max.max(t);
+            sum += t;
+            n += 1;
+        }
+    }
+    if n == 0 || max <= 0.0 {
         return 0.0;
     }
-    let avg = per_rank.iter().sum::<f64>() / per_rank.len() as f64;
-    (max - avg) / max
+    (max - sum / n as f64) / max
 }
 
 impl RunStats {
@@ -561,6 +574,28 @@ mod tests {
         assert_eq!(measured_lb(&[1.0, 1.0, 1.0]), 0.0);
         // max=2, avg=4/3 -> (2 - 4/3)/2 = 1/3.
         assert!((measured_lb(&[2.0, 1.0, 1.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_lb_never_leaks_nan() {
+        // A NaN timing is invisible to `f64::max` but poisons the sum;
+        // the finite-subset guard keeps Eq. (1) over the healthy ranks.
+        let lb = measured_lb(&[2.0, f64::NAN, 1.0, 1.0]);
+        assert!((lb - 1.0 / 3.0).abs() < 1e-12, "{lb}");
+        let lb = measured_lb(&[2.0, f64::INFINITY, 1.0, 1.0]);
+        assert!((lb - 1.0 / 3.0).abs() < 1e-12, "{lb}");
+        assert_eq!(measured_lb(&[f64::NAN, f64::NAN]), 0.0);
+        // Through the public RunStats surface, too: summaries must stay
+        // printable numbers even with a corrupted measurement.
+        let stats = RunStats {
+            wall_seconds: 1.0,
+            per_rank_compute: vec![2.0, f64::NAN, 1.0, 1.0],
+            per_rank_comm: vec![f64::NAN; 4],
+            steps: 1,
+        };
+        assert!(stats.lb_compute().is_finite());
+        assert_eq!(stats.lb_comm(), 0.0);
+        assert!(!stats.summary().contains("NaN"), "{}", stats.summary());
     }
 
     #[test]

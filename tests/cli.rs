@@ -414,3 +414,86 @@ fn bad_invocations_fail_cleanly() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("error"), "{err}");
 }
+
+#[test]
+fn experiment_runs_one_resolution() {
+    let out = cli()
+        .args(["experiment", "--ne", "4", "--max-points", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Ne=4 K=96"), "{text}");
+    // 3 ladder points × 4 methods.
+    assert!(text.contains("12 cells over 1 resolution(s)"), "{text}");
+    for label in ["SFC", "KWAY", "TV", "RB"] {
+        assert!(text.contains(label), "missing {label}:\n{text}");
+    }
+}
+
+#[test]
+fn experiment_parallel_output_is_byte_identical_to_serial() {
+    // --jobs via flag and CUBESFC_JOBS via env must both work, and the
+    // pooled run must print exactly what the serial run prints.
+    let serial = cli()
+        .args(["experiment", "--ne", "4", "--max-points", "4", "--serial"])
+        .output()
+        .unwrap();
+    assert!(serial.status.success());
+    let pooled = cli()
+        .args([
+            "experiment",
+            "--ne",
+            "4",
+            "--max-points",
+            "4",
+            "--jobs",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(pooled.status.success());
+    let s = String::from_utf8(serial.stdout).unwrap();
+    let p = String::from_utf8(pooled.stdout).unwrap();
+    // The trailer names the jobs setting; everything above it must match.
+    let body = |t: &str| t.lines().filter(|l| !l.contains("jobs=")).count();
+    assert_eq!(body(&s), body(&p));
+    assert_eq!(
+        s.lines()
+            .filter(|l| !l.contains("jobs="))
+            .collect::<Vec<_>>(),
+        p.lines()
+            .filter(|l| !l.contains("jobs="))
+            .collect::<Vec<_>>()
+    );
+    assert!(s.contains("jobs=auto"), "{s}");
+    assert!(p.contains("jobs=3"), "{p}");
+
+    let env = cli()
+        .args(["experiment", "--ne", "4", "--max-points", "4"])
+        .env("CUBESFC_JOBS", "2")
+        .output()
+        .unwrap();
+    assert!(env.status.success());
+    let e = String::from_utf8(env.stdout).unwrap();
+    assert!(e.contains("jobs=2"), "{e}");
+}
+
+#[test]
+fn experiment_rejects_bad_flags() {
+    // Unsupported resolution (prime factor > 3).
+    let out = cli().args(["experiment", "--ne", "7"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Zero ladder points is a usage error.
+    let out = cli()
+        .args(["experiment", "--ne", "4", "--max-points", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Non-numeric jobs is a usage error.
+    let out = cli()
+        .args(["experiment", "--jobs", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

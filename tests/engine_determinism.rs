@@ -1,0 +1,123 @@
+//! Determinism of the parallel experiment engine.
+//!
+//! The engine fans the (K, Nproc, method) grid out over the worker pool;
+//! the contract is that a pooled run is **byte-identical** to the serial
+//! run — same partition assignments, same Table-2 metrics — for any seed
+//! and any worker count, and that the per-thread observability shards
+//! merge into exactly the registry the serial run produces.
+//!
+//! These tests live in their own integration binary so the process-global
+//! observability registry and worker-pool override are not raced by
+//! unrelated unit tests; within the binary, [`GLOBAL_LOCK`] serialises
+//! the tests that touch either.
+
+use cubesfc::{
+    cells_for, set_jobs, CellResult, ExperimentCell, ExperimentEngine, PartitionMethod,
+    PartitionOptions, Resolution, NCAR_P690_MAX_PROCS,
+};
+
+/// Serialises tests mutating process-global state (worker-pool size,
+/// observability registry).
+static GLOBAL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn assert_identical(serial: &[CellResult], parallel: &[CellResult], label: &str) {
+    assert_eq!(serial.len(), parallel.len(), "{label}: length");
+    for (s, p) in serial.iter().zip(parallel) {
+        assert!(
+            s.identical(p),
+            "{label}: cell {:?} diverged between serial and parallel runs",
+            s.cell
+        );
+        // Spell the strongest part out: the element→part assignment is
+        // equal element by element, not just statistically.
+        assert_eq!(
+            s.partition.assignment(),
+            p.partition.assignment(),
+            "{label}: assignment of {:?}",
+            s.cell
+        );
+    }
+}
+
+#[test]
+fn engine_is_bit_identical_across_seeds_and_cells() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Three (K, Nproc) cells spanning two resolutions, every method.
+    let cells: Vec<ExperimentCell> = [(4usize, 8usize), (4, 24), (8, 96)]
+        .iter()
+        .flat_map(|&(ne, nproc)| {
+            [
+                PartitionMethod::Sfc,
+                PartitionMethod::MetisKway,
+                PartitionMethod::MetisTv,
+                PartitionMethod::MetisRb,
+            ]
+            .into_iter()
+            .map(move |method| ExperimentCell { ne, nproc, method })
+        })
+        .collect();
+
+    for seed in [1u64, 42, 0xD15EA5E] {
+        let mut opts = PartitionOptions::default();
+        opts.graph_config.seed = seed;
+        let engine = ExperimentEngine::new().with_options(opts);
+        let serial = engine.run_serial(&cells).unwrap();
+        for jobs in [2usize, 5] {
+            set_jobs(jobs);
+            let parallel = engine.run(&cells).unwrap();
+            assert_identical(&serial, &parallel, &format!("seed={seed} jobs={jobs}"));
+        }
+        set_jobs(0);
+    }
+}
+
+#[test]
+fn strictly_serial_pool_matches_too() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // jobs=1 short-circuits the pool entirely (inline execution); it must
+    // agree with both the explicit serial path and the threaded pool.
+    let res = Resolution::for_ne(4, NCAR_P690_MAX_PROCS).unwrap();
+    let cells = cells_for(&res, 4);
+    let engine = ExperimentEngine::new();
+    let serial = engine.run_serial(&cells).unwrap();
+    set_jobs(1);
+    let inline = engine.run(&cells).unwrap();
+    set_jobs(0);
+    assert_identical(&serial, &inline, "jobs=1");
+}
+
+#[test]
+fn parallel_engine_merges_observability_shards_exactly() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let res = Resolution::for_ne(4, NCAR_P690_MAX_PROCS).unwrap();
+    let cells = cells_for(&res, 4);
+
+    // Serial run: the reference registry.
+    cubesfc::obs::set_enabled(true);
+    cubesfc::obs::reset();
+    let engine = ExperimentEngine::new();
+    engine.run_serial(&cells).unwrap();
+    let serial = cubesfc::obs::snapshot();
+
+    // Pooled run: per-thread shards merged into the global registry.
+    cubesfc::obs::reset();
+    let engine = ExperimentEngine::new();
+    set_jobs(3);
+    engine.run(&cells).unwrap();
+    set_jobs(0);
+    let parallel = cubesfc::obs::snapshot();
+    cubesfc::obs::set_enabled(false);
+    cubesfc::obs::reset();
+
+    // Counters and histograms are deterministic — the merge must
+    // reproduce them exactly; only wall-clock timings may differ.
+    assert!(!serial.counters.is_empty());
+    assert_eq!(serial.counters, parallel.counters);
+    assert_eq!(serial.histograms, parallel.histograms);
+    assert_eq!(serial.counters["experiment/cells"], cells.len() as u64);
+    // Same span paths with the same call counts.
+    let counts = |s: &cubesfc::obs::Snapshot| -> Vec<(String, u64)> {
+        s.timers.iter().map(|(k, v)| (k.clone(), v.count)).collect()
+    };
+    assert_eq!(counts(&serial), counts(&parallel));
+}

@@ -1,0 +1,110 @@
+//! Equivalence of the epoch-stamped marker-array metric kernels with
+//! naive reference implementations, on the paper's K = 1536 mesh.
+//!
+//! `metis_volume` and `neighbor_parts` used to track "distinct parts
+//! seen" with `Vec::contains` linear scans — O(deg·parts) per vertex.
+//! They now use an epoch-stamped marker array (O(deg) per vertex). These
+//! tests pin the optimized kernels to straightforward set-based
+//! references on the full Ne = 16 dual graph, across every partitioning
+//! method, so any behavioural drift in the rewrite is caught on a graph
+//! big enough to exercise epoch reuse thousands of times.
+
+use cubesfc::graph::metrics::{metis_volume, neighbor_parts};
+use cubesfc::graph::{CsrGraph, Partition};
+use cubesfc::{partition_default, CubedSphere, PartitionMethod};
+use std::collections::BTreeSet;
+
+/// Reference `metis_volume`: for each vertex, count the distinct
+/// *other* parts among its neighbours with an explicit set.
+fn metis_volume_reference(g: &CsrGraph, p: &Partition) -> u64 {
+    let mut vol = 0u64;
+    for v in 0..g.nv() {
+        let pv = p.part_of(v);
+        let distinct: BTreeSet<usize> = g
+            .neighbors(v)
+            .map(|(u, _)| p.part_of(u))
+            .filter(|&pu| pu != pv)
+            .collect();
+        vol += distinct.len() as u64;
+    }
+    vol
+}
+
+/// Reference `neighbor_parts`: the set of remote parts adjacent to each
+/// part, via one BTreeSet per part.
+fn neighbor_parts_reference(g: &CsrGraph, p: &Partition) -> Vec<usize> {
+    let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); p.nparts()];
+    for v in 0..g.nv() {
+        let pv = p.part_of(v);
+        for (u, _) in g.neighbors(v) {
+            let pu = p.part_of(u);
+            if pu != pv {
+                sets[pv].insert(pu);
+            }
+        }
+    }
+    sets.into_iter().map(|s| s.len()).collect()
+}
+
+#[test]
+fn marker_kernels_match_references_on_k1536() {
+    let mesh = CubedSphere::new(16); // K = 6·16² = 1536
+    let g = cubesfc::to_csr(&mesh.dual_graph(Default::default()));
+    assert_eq!(g.nv(), 1536);
+
+    for method in [
+        PartitionMethod::Sfc,
+        PartitionMethod::MetisKway,
+        PartitionMethod::MetisTv,
+        PartitionMethod::MetisRb,
+        PartitionMethod::Morton,
+        PartitionMethod::Rcb,
+    ] {
+        for nproc in [2usize, 24, 96, 384] {
+            let p = partition_default(&mesh, method, nproc).unwrap();
+            assert_eq!(
+                metis_volume(&g, &p),
+                metis_volume_reference(&g, &p),
+                "metis_volume diverged: {method:?} nproc={nproc}"
+            );
+            assert_eq!(
+                neighbor_parts(&g, &p),
+                neighbor_parts_reference(&g, &p),
+                "neighbor_parts diverged: {method:?} nproc={nproc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn marker_kernels_match_references_on_degenerate_partitions() {
+    let mesh = CubedSphere::new(16);
+    let g = cubesfc::to_csr(&mesh.dual_graph(Default::default()));
+    let k = g.nv();
+
+    // Everything in one part: no remote neighbours anywhere.
+    let one = Partition::new(1, vec![0u32; k]);
+    assert_eq!(metis_volume(&g, &one), 0);
+    assert_eq!(neighbor_parts(&g, &one), vec![0]);
+
+    // One element per part: every neighbour is remote and distinct.
+    let singleton = Partition::new(k, (0..k as u32).collect());
+    assert_eq!(
+        metis_volume(&g, &singleton),
+        metis_volume_reference(&g, &singleton)
+    );
+    assert_eq!(
+        neighbor_parts(&g, &singleton),
+        neighbor_parts_reference(&g, &singleton)
+    );
+
+    // A part that is empty (id 3 unused) must still get a zero entry.
+    let mut assign: Vec<u32> = (0..k).map(|e| (e % 3) as u32).collect();
+    assign[0] = 4;
+    let gappy = Partition::new(5, assign);
+    let got = neighbor_parts(&g, &gappy);
+    let want = neighbor_parts_reference(&g, &gappy);
+    assert_eq!(got, want);
+    assert_eq!(got[3], 0);
+    assert_eq!(metis_volume(&g, &gappy), metis_volume_reference(&g, &gappy));
+}

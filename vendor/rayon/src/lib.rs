@@ -1,21 +1,99 @@
 //! Shim of `rayon`: `slice.par_iter().map(f).collect()` implemented with
-//! `std::thread::scope`. Parallelism is real (multiple OS threads, even
+//! `std::thread::scope`, plus a `join` primitive for recursive
+//! fork/join parallelism. Parallelism is real (multiple OS threads, even
 //! on one core — important for exercising concurrent code paths) and the
 //! output order matches the input order, like rayon's indexed collect.
+//!
+//! The worker budget is configurable at runtime through
+//! [`set_num_threads`] (0 restores the automatic default), which is how
+//! the `cubesfc` CLI plumbs `--jobs N` / `CUBESFC_JOBS` down to every
+//! parallel call site. `set_num_threads(1)` makes both `par_iter` and
+//! `join` run strictly inline on the calling thread.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-/// How many worker threads a parallel call may use: at least 2 (so
-/// concurrency is exercised even on single-core machines), at most 8.
+/// Runtime override of the worker budget; 0 means "automatic".
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra threads currently spawned by [`join`] calls, across the whole
+/// process — bounds nested fork/join so recursion cannot oversubscribe.
+static ACTIVE_JOIN_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker budget for all subsequent parallel calls.
+///
+/// `0` restores the automatic default (`available_parallelism`, clamped
+/// to `2..=8`); `1` forces strictly serial inline execution; any other
+/// value caps the number of concurrent worker threads.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker budget a parallel call may currently use.
+pub fn current_num_threads() -> usize {
+    max_threads()
+}
+
+/// How many worker threads a parallel call may use. With no override:
+/// at least 2 (so concurrency is exercised even on single-core
+/// machines), at most 8.
 fn max_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .clamp(2, 8)
+    match NUM_THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(2, 8),
+        n => n,
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// Like rayon's `join`, the closures always both run to completion and
+/// the pairing of results to closures is preserved; whether `b` runs on
+/// a second thread depends on the remaining worker budget. Callers must
+/// not rely on execution order — with the budget exhausted (or
+/// `set_num_threads(1)`) both run inline, `a` first.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = max_threads();
+    // Reserve one extra thread if the budget allows; otherwise inline.
+    let reserved = budget > 1
+        && ACTIVE_JOIN_THREADS
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+                (active + 1 < budget).then_some(active + 1)
+            })
+            .is_ok();
+    if !reserved {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    struct Release;
+    impl Drop for Release {
+        fn drop(&mut self) {
+            ACTIVE_JOIN_THREADS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _release = Release;
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
 }
 
 /// Entry point: `.par_iter()` on slices (and, via unsized coercion,
@@ -100,27 +178,43 @@ where
 
 #[cfg(test)]
 mod tests {
-    use super::prelude::*;
+    use super::*;
 
     #[test]
-    fn collect_preserves_order() {
-        let xs: Vec<usize> = (0..100).collect();
-        let ys: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
-        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    fn join_returns_both_results_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
     }
 
     #[test]
-    fn arrays_and_nesting_work() {
-        let grid: Vec<Vec<usize>> = [1usize, 2, 3]
-            .par_iter()
-            .map(|&a| [10usize, 20].par_iter().map(|&b| a * b).collect())
-            .collect();
-        assert_eq!(grid, vec![vec![10, 20], vec![20, 40], vec![30, 60]]);
+    fn join_nests() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+            a + b
+        }
+        assert_eq!(sum(0, 10_000), 10_000 * 9_999 / 2);
     }
 
     #[test]
-    fn empty_input() {
-        let none: Vec<u8> = Vec::<u8>::new().par_iter().map(|&b| b).collect();
-        assert!(none.is_empty());
+    fn join_propagates_panics() {
+        let r = std::panic::catch_unwind(|| join(|| 1, || panic!("worker boom")));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn num_threads_override_round_trips() {
+        // Other tests in this binary run concurrently, so exercise the
+        // override briefly and always restore the automatic default.
+        set_num_threads(1);
+        assert_eq!(current_num_threads(), 1);
+        let (a, b) = join(|| 7, || 11); // must run inline, still correct
+        assert_eq!((a, b), (7, 11));
+        set_num_threads(0);
+        assert!(current_num_threads() >= 2);
     }
 }

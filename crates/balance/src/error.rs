@@ -1,0 +1,89 @@
+//! Errors of the dynamic load-balancing subsystem.
+
+use cubesfc_graph::{MigrationError, SplitError};
+use std::fmt;
+
+/// Errors from trajectory evaluation, rebalancing, and planning.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BalanceError {
+    /// The curve re-split failed (bad weights, part counts…).
+    Split(SplitError),
+    /// Migration accounting failed (partition size mismatch).
+    Migration(MigrationError),
+    /// A trajectory or simulation parameter is out of range.
+    BadConfig {
+        /// Explanation.
+        reason: String,
+    },
+    /// A recompute backend failed; the message carries its error.
+    Backend {
+        /// The backend's label.
+        label: String,
+        /// The underlying error, stringified.
+        message: String,
+    },
+    /// The migration plan failed its conservation check — applying the
+    /// manifests to the old partition would not reproduce the new one.
+    PlanInvalid {
+        /// What the verifier found.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceError::Split(e) => write!(f, "curve re-split: {e}"),
+            BalanceError::Migration(e) => write!(f, "migration accounting: {e}"),
+            BalanceError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            BalanceError::Backend { label, message } => {
+                write!(f, "repartitioner '{label}': {message}")
+            }
+            BalanceError::PlanInvalid { reason } => {
+                write!(f, "migration plan failed conservation check: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BalanceError::Split(e) => Some(e),
+            BalanceError::Migration(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SplitError> for BalanceError {
+    fn from(e: SplitError) -> Self {
+        BalanceError::Split(e)
+    }
+}
+
+impl From<MigrationError> for BalanceError {
+    fn from(e: MigrationError) -> Self {
+        BalanceError::Migration(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_chain() {
+        use std::error::Error;
+        let e: BalanceError = SplitError::ZeroParts.into();
+        assert!(e.to_string().contains("re-split"));
+        assert!(e.source().is_some());
+        let e: BalanceError = MigrationError::SizeMismatch { left: 1, right: 2 }.into();
+        assert!(e.source().is_some());
+        let e = BalanceError::PlanInvalid {
+            reason: "element 7 duplicated".into(),
+        };
+        assert!(e.to_string().contains("element 7"));
+        assert!(e.source().is_none());
+    }
+}

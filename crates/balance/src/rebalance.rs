@@ -1,0 +1,136 @@
+//! Repartitioning backends: how a new partition is produced when a
+//! rebalance triggers.
+//!
+//! The subsystem's central comparison is between two ways of answering
+//! "the load changed — now what":
+//!
+//! * [`IncrementalSfc`] re-splits the *existing* global space-filling
+//!   curve with a weighted prefix sum. The element order never changes,
+//!   only the cut points slide, so consecutive partitions are nested
+//!   along the curve and most elements stay where they were — migration
+//!   volume tracks the load *change*, not the load.
+//! * A recompute backend (any graph partitioner — METIS k-way, recursive
+//!   bisection…) solves the new instance from scratch. It may balance
+//!   slightly better, but its output has no memory of the previous
+//!   assignment, so nearly every element can move. Core provides such a
+//!   backend by implementing [`Repartitioner`] over its partitioner
+//!   methods; this crate stays below core in the dependency order and
+//!   only defines the interface.
+
+use crate::error::BalanceError;
+use cubesfc_graph::{split_order_weighted, Partition};
+use cubesfc_mesh::GlobalCurve;
+
+/// A strategy for producing a new partition from the current weights.
+///
+/// `repartition` takes the step index so that backends which use
+/// randomized refinement can reseed deterministically per step, keeping
+/// whole trajectories replayable.
+pub trait Repartitioner {
+    /// Short name used in reports and traces (e.g. `sfc-incremental`,
+    /// `metis-kway-recompute`).
+    fn label(&self) -> String;
+
+    /// Produce a partition of the elements into `nproc` parts balancing
+    /// `weights` (one non-negative weight per element).
+    fn repartition(
+        &mut self,
+        step: usize,
+        weights: &[f64],
+        nproc: usize,
+    ) -> Result<Partition, BalanceError>;
+}
+
+/// The incremental backend: re-split the fixed global curve with a
+/// weighted prefix sum.
+#[derive(Clone, Debug)]
+pub struct IncrementalSfc {
+    curve: GlobalCurve,
+}
+
+impl IncrementalSfc {
+    /// Wrap an already-built global curve (cheaply cloned per run).
+    pub fn new(curve: GlobalCurve) -> IncrementalSfc {
+        IncrementalSfc { curve }
+    }
+
+    /// The curve being re-split.
+    pub fn curve(&self) -> &GlobalCurve {
+        &self.curve
+    }
+}
+
+impl Repartitioner for IncrementalSfc {
+    fn label(&self) -> String {
+        "sfc-incremental".to_string()
+    }
+
+    fn repartition(
+        &mut self,
+        _step: usize,
+        weights: &[f64],
+        nproc: usize,
+    ) -> Result<Partition, BalanceError> {
+        let curve = &self.curve;
+        let p = split_order_weighted(curve.len(), |r| curve.elem_at(r).index(), nproc, weights)?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubesfc_graph::{load_balance_f64, part_loads, raw_migration};
+
+    fn curve(ne: usize) -> GlobalCurve {
+        GlobalCurve::build(ne).unwrap()
+    }
+
+    #[test]
+    fn resplit_is_contiguous_along_the_curve() {
+        let c = curve(4);
+        let mut inc = IncrementalSfc::new(c.clone());
+        let w = vec![1.0; c.len()];
+        let p = inc.repartition(0, &w, 8).unwrap();
+        // Walking the curve, the part index is non-decreasing.
+        let mut prev = 0usize;
+        for r in 0..c.len() {
+            let part = p.part_of(c.elem_at(r).index());
+            assert!(part >= prev, "cut order broken at rank {r}");
+            prev = part;
+        }
+        assert_eq!(p.nparts(), 8);
+    }
+
+    #[test]
+    fn small_weight_change_moves_few_elements() {
+        let c = curve(6);
+        let n = c.len();
+        let mut inc = IncrementalSfc::new(c);
+        let w0 = vec![1.0; n];
+        let mut w1 = w0.clone();
+        // Nudge a handful of element weights upward.
+        for e in 0..8 {
+            w1[e * 13 % n] = 2.0;
+        }
+        let p0 = inc.repartition(0, &w0, 12).unwrap();
+        let p1 = inc.repartition(1, &w1, 12).unwrap();
+        let moved = raw_migration(&p0, &p1).unwrap();
+        // Nested cuts: a small perturbation moves only a sliver of the
+        // mesh, and the new split still balances the new weights well.
+        assert!(moved < n / 10, "moved {moved} of {n}");
+        let lb = load_balance_f64(&part_loads(&p1, &w1));
+        assert!(lb < 0.25, "LB {lb}");
+    }
+
+    #[test]
+    fn errors_surface_as_balance_errors() {
+        let c = curve(2);
+        let n = c.len();
+        let mut inc = IncrementalSfc::new(c);
+        let err = inc.repartition(0, &vec![0.0; n], 4).unwrap_err();
+        assert!(matches!(err, BalanceError::Split(_)));
+        let err = inc.repartition(0, &vec![1.0; n], 0).unwrap_err();
+        assert!(matches!(err, BalanceError::Split(_)));
+    }
+}

@@ -1,0 +1,495 @@
+//! The rebalance simulator: drives a load trajectory through a policy
+//! and a repartitioning backend, producing a per-step report.
+//!
+//! Each step walks the full loop the subsystem exists to close —
+//! *weights → policy → repartition → plan → apply* — and each phase is
+//! recorded on its own trace lane, so `--trace` output opens in Perfetto
+//! with one timeline row per phase.
+
+use crate::error::BalanceError;
+use crate::planner::MigrationPlan;
+use crate::policy::{migration_seconds, PolicyEngine, PolicyInput, RebalancePolicy};
+use crate::rebalance::Repartitioner;
+use crate::trajectory::{begin_phase, LoadModel};
+use cubesfc_graph::{load_balance_f64, part_loads, CsrGraph, Partition};
+use cubesfc_seam::{evaluate_weighted, CostModel, MachineModel};
+use std::fmt::Write as _;
+
+/// Schema tag of the JSON report.
+pub const REBALANCE_SCHEMA: &str = "cubesfc-rebalance-v1";
+
+/// Fixed parameters of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of timesteps to simulate.
+    pub steps: usize,
+    /// Number of processors (parts).
+    pub nproc: usize,
+    /// Machine constants for step-time and migration modelling.
+    pub machine: MachineModel,
+    /// Cost model (flops and bytes per element).
+    pub cost: CostModel,
+}
+
+/// What happened at one timestep.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: usize,
+    /// LB (Eq. 1) of the incumbent partition under this step's weights.
+    pub lb_before: f64,
+    /// LB after this step's action (equals `lb_before` if no trigger).
+    pub lb_after: f64,
+    /// Did the policy fire?
+    pub triggered: bool,
+    /// Elements migrated this step.
+    pub moved_elems: usize,
+    /// Bytes migrated this step.
+    pub moved_bytes: f64,
+    /// Modelled SEAM seconds per timestep on the adopted partition.
+    pub step_time: f64,
+    /// Modelled one-off migration seconds paid this step.
+    pub migration_time: f64,
+}
+
+/// The full run: per-step records plus aggregates.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Backend label (e.g. `sfc-incremental`).
+    pub backend: String,
+    /// Policy label.
+    pub policy: String,
+    /// Trajectory label.
+    pub trajectory: String,
+    /// Element count.
+    pub nelems: usize,
+    /// Processor count.
+    pub nproc: usize,
+    /// One record per step.
+    pub records: Vec<StepRecord>,
+    /// The partition in force after the final step.
+    pub final_partition: Partition,
+}
+
+impl SimReport {
+    /// How many steps fired a rebalance.
+    pub fn trigger_count(&self) -> usize {
+        self.records.iter().filter(|r| r.triggered).count()
+    }
+
+    /// Total elements migrated across the run.
+    pub fn total_moved_elems(&self) -> usize {
+        self.records.iter().map(|r| r.moved_elems).sum()
+    }
+
+    /// Total bytes migrated across the run.
+    pub fn total_moved_bytes(&self) -> f64 {
+        self.records.iter().map(|r| r.moved_bytes).sum()
+    }
+
+    /// Mean post-action LB over the run.
+    pub fn mean_lb(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.lb_after).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Worst post-action LB over the run.
+    pub fn max_lb(&self) -> f64 {
+        self.records.iter().map(|r| r.lb_after).fold(0.0, f64::max)
+    }
+
+    /// Modelled total seconds: every step's compute+comm plus every
+    /// migration paid along the way.
+    pub fn modelled_total_seconds(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.step_time + r.migration_time)
+            .sum()
+    }
+
+    /// Serialize as a `cubesfc-rebalance-v1` JSON document (parseable
+    /// by `cubesfc_obs::json_parse`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.records.len() * 160);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{REBALANCE_SCHEMA}\",");
+        let _ = writeln!(
+            s,
+            "  \"backend\": \"{}\",",
+            cubesfc_obs::json_escape(&self.backend)
+        );
+        let _ = writeln!(
+            s,
+            "  \"policy\": \"{}\",",
+            cubesfc_obs::json_escape(&self.policy)
+        );
+        let _ = writeln!(
+            s,
+            "  \"trajectory\": \"{}\",",
+            cubesfc_obs::json_escape(&self.trajectory)
+        );
+        let _ = writeln!(s, "  \"nelems\": {},", self.nelems);
+        let _ = writeln!(s, "  \"nproc\": {},", self.nproc);
+        let _ = writeln!(s, "  \"steps\": {},", self.records.len());
+        let _ = writeln!(s, "  \"trigger_count\": {},", self.trigger_count());
+        let _ = writeln!(s, "  \"moved_elems\": {},", self.total_moved_elems());
+        let _ = writeln!(
+            s,
+            "  \"moved_bytes\": {},",
+            json_f64(self.total_moved_bytes())
+        );
+        let _ = writeln!(s, "  \"mean_lb\": {},", json_f64(self.mean_lb()));
+        let _ = writeln!(s, "  \"max_lb\": {},", json_f64(self.max_lb()));
+        let _ = writeln!(
+            s,
+            "  \"modelled_total_seconds\": {},",
+            json_f64(self.modelled_total_seconds())
+        );
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"step\": {}, \"lb_before\": {}, \"lb_after\": {}, \
+                 \"triggered\": {}, \"moved_elems\": {}, \"moved_bytes\": {}, \
+                 \"step_time\": {}, \"migration_time\": {}}}",
+                r.step,
+                json_f64(r.lb_before),
+                json_f64(r.lb_after),
+                r.triggered,
+                r.moved_elems,
+                json_f64(r.moved_bytes),
+                json_f64(r.step_time),
+                json_f64(r.migration_time),
+            );
+            s.push_str(if i + 1 < self.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Render a fixed-width summary table of the run.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "rebalance: backend={} policy={} trajectory={} K={} Nproc={}",
+            self.backend, self.policy, self.trajectory, self.nelems, self.nproc
+        );
+        let _ = writeln!(
+            s,
+            "{:>5} {:>9} {:>9} {:>8} {:>7} {:>12} {:>11}",
+            "step", "LB_pre", "LB_post", "trigger", "moved", "bytes", "t_step(ms)"
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                s,
+                "{:>5} {:>9.4} {:>9.4} {:>8} {:>7} {:>12.0} {:>11.3}",
+                r.step,
+                r.lb_before,
+                r.lb_after,
+                if r.triggered { "yes" } else { "-" },
+                r.moved_elems,
+                r.moved_bytes,
+                r.step_time * 1e3,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "summary: triggers={} moved={} elems ({:.1} MiB) mean_LB={:.4} max_LB={:.4} modelled_total={:.3} s",
+            self.trigger_count(),
+            self.total_moved_elems(),
+            self.total_moved_bytes() / (1024.0 * 1024.0),
+            self.mean_lb(),
+            self.max_lb(),
+            self.modelled_total_seconds(),
+        );
+        s
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // json_parse has no infinity/NaN; `{x}` never emits them here,
+        // but integers print without a dot, which is still valid JSON.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Run `steps` timesteps of `model` against `backend` under `policy`.
+///
+/// `initial` is the step-0 partition (typically the uniform split the
+/// static partitioner would produce); it must cover exactly the
+/// elements of `graph` and `model` with `config.nproc` parts.
+pub fn run_rebalance(
+    graph: &CsrGraph,
+    model: &LoadModel,
+    backend: &mut dyn Repartitioner,
+    policy: RebalancePolicy,
+    initial: Partition,
+    config: &SimConfig,
+) -> Result<SimReport, BalanceError> {
+    let bad = |reason: String| BalanceError::BadConfig { reason };
+    if config.steps == 0 {
+        return Err(bad("steps must be at least 1".into()));
+    }
+    if initial.len() != graph.nv() {
+        return Err(bad(format!(
+            "initial partition covers {} elements, graph has {}",
+            initial.len(),
+            graph.nv()
+        )));
+    }
+    if model.len() != graph.nv() {
+        return Err(bad(format!(
+            "load model covers {} elements, graph has {}",
+            model.len(),
+            graph.nv()
+        )));
+    }
+    if initial.nparts() != config.nproc {
+        return Err(bad(format!(
+            "initial partition has {} parts, config.nproc is {}",
+            initial.nparts(),
+            config.nproc
+        )));
+    }
+
+    let _span = cubesfc_obs::span("rebalance_sim");
+    let bytes_per_elem = config.cost.element_state_bytes();
+    let cost_benefit = matches!(policy, RebalancePolicy::CostBenefit { .. });
+    let mut engine = PolicyEngine::new(policy);
+    let mut current = initial;
+    let mut records = Vec::with_capacity(config.steps);
+
+    for step in 0..config.steps {
+        let weights = model.weights_at(step, &current);
+        let lb_before = load_balance_f64(&part_loads(&current, &weights));
+
+        // The cost-benefit policy needs the candidate *before* deciding;
+        // the reactive policies decide first and repartition only on a
+        // trigger.
+        let mut staged: Option<MigrationPlan> = None;
+        if cost_benefit {
+            let plan = propose(backend, step, &weights, &current, config, bytes_per_elem)?;
+            staged = Some(plan);
+        }
+
+        let decision = {
+            let _phase = begin_phase("policy");
+            let input = PolicyInput {
+                step,
+                current: &current,
+                weights: &weights,
+                graph,
+                machine: &config.machine,
+                cost: &config.cost,
+            };
+            let candidate = staged.as_ref().map(|p| (&p.target, p.moved_bytes));
+            engine.decide(&input, candidate)
+        };
+
+        let mut record = StepRecord {
+            step,
+            lb_before,
+            lb_after: lb_before,
+            triggered: decision.trigger,
+            moved_elems: 0,
+            moved_bytes: 0.0,
+            step_time: 0.0,
+            migration_time: 0.0,
+        };
+
+        if decision.trigger {
+            let plan = match staged {
+                Some(plan) => plan,
+                None => propose(backend, step, &weights, &current, config, bytes_per_elem)?,
+            };
+            let _phase = begin_phase("apply");
+            record.moved_elems = plan.moved_elems;
+            record.moved_bytes = plan.moved_bytes;
+            record.migration_time = migration_seconds(plan.moved_bytes, &config.machine);
+            current = plan.target;
+            record.lb_after = load_balance_f64(&part_loads(&current, &weights));
+            cubesfc_obs::counter_add("rebalance.triggers", 1);
+            cubesfc_obs::counter_add("rebalance.moved_elems", plan.moved_elems as u64);
+        }
+
+        engine.observe(record.lb_after);
+        record.step_time =
+            evaluate_weighted(graph, &current, &weights, &config.machine, &config.cost)
+                .time_per_step;
+        cubesfc_obs::histogram_record("rebalance.lb_permille", (record.lb_after * 1000.0) as u64);
+        records.push(record);
+    }
+
+    Ok(SimReport {
+        backend: backend.label(),
+        policy: policy.label().to_string(),
+        trajectory: model.kind().label().to_string(),
+        nelems: graph.nv(),
+        nproc: config.nproc,
+        records,
+        final_partition: current,
+    })
+}
+
+/// Repartition + plan, each under its trace lane.
+fn propose(
+    backend: &mut dyn Repartitioner,
+    step: usize,
+    weights: &[f64],
+    current: &Partition,
+    config: &SimConfig,
+    bytes_per_elem: f64,
+) -> Result<MigrationPlan, BalanceError> {
+    let candidate = {
+        let _phase = begin_phase("repartition");
+        backend.repartition(step, weights, config.nproc)?
+    };
+    MigrationPlan::new(current, &candidate, bytes_per_elem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rebalance::IncrementalSfc;
+    use crate::trajectory::TrajectoryKind;
+    use cubesfc_graph::split_order_weighted;
+    use cubesfc_mesh::{build_dual_graph, CubedSphere, ExchangeWeights, GlobalCurve};
+
+    fn setup(ne: usize) -> (CsrGraph, GlobalCurve, CubedSphere) {
+        let mesh = CubedSphere::new(ne);
+        let dg = build_dual_graph(mesh.topology(), ExchangeWeights::default());
+        let graph = CsrGraph::new(dg.xadj, dg.adjncy, dg.adjwgt, dg.vwgt).unwrap();
+        let curve = GlobalCurve::build(ne).unwrap();
+        (graph, curve, mesh)
+    }
+
+    fn uniform_split(curve: &GlobalCurve, nproc: usize) -> Partition {
+        let w = vec![1.0; curve.len()];
+        split_order_weighted(curve.len(), |r| curve.elem_at(r).index(), nproc, &w).unwrap()
+    }
+
+    fn config(steps: usize, nproc: usize) -> SimConfig {
+        SimConfig {
+            steps,
+            nproc,
+            machine: MachineModel::ncar_p690(),
+            cost: CostModel::seam_climate(),
+        }
+    }
+
+    #[test]
+    fn threshold_run_rebalances_and_improves_lb() {
+        let (graph, curve, mesh) = setup(6);
+        let model = LoadModel::from_mesh(&mesh, TrajectoryKind::named("amr", 20).unwrap());
+        let initial = uniform_split(&curve, 8);
+        let mut backend = IncrementalSfc::new(curve);
+        let report = run_rebalance(
+            &graph,
+            &model,
+            &mut backend,
+            RebalancePolicy::named("threshold").unwrap(),
+            initial,
+            &config(20, 8),
+        )
+        .unwrap();
+        assert_eq!(report.records.len(), 20);
+        assert!(
+            report.trigger_count() >= 1,
+            "hotspot must fire the threshold"
+        );
+        // Whenever it fired, LB improved.
+        for r in report.records.iter().filter(|r| r.triggered) {
+            assert!(r.lb_after <= r.lb_before + 1e-12);
+            assert!(r.moved_elems > 0);
+        }
+        assert!(report.total_moved_elems() < graph.nv() * report.trigger_count());
+    }
+
+    #[test]
+    fn periodic_and_costbenefit_run_clean() {
+        let (graph, curve, mesh) = setup(4);
+        let model = LoadModel::from_mesh(&mesh, TrajectoryKind::named("diurnal", 12).unwrap());
+        for policy in ["periodic", "costbenefit"] {
+            let initial = uniform_split(&curve, 6);
+            let mut backend = IncrementalSfc::new(curve.clone());
+            let report = run_rebalance(
+                &graph,
+                &model,
+                &mut backend,
+                RebalancePolicy::named(policy).unwrap(),
+                initial,
+                &config(12, 6),
+            )
+            .unwrap();
+            assert_eq!(report.records.len(), 12);
+            assert!(report.max_lb() < 1.0);
+            assert!(report.modelled_total_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_json_parses_and_round_trips_counts() {
+        let (graph, curve, mesh) = setup(4);
+        let model = LoadModel::from_mesh(&mesh, TrajectoryKind::named("amr", 6).unwrap());
+        let initial = uniform_split(&curve, 4);
+        let mut backend = IncrementalSfc::new(curve);
+        let report = run_rebalance(
+            &graph,
+            &model,
+            &mut backend,
+            RebalancePolicy::named("periodic").unwrap(),
+            initial,
+            &config(6, 4),
+        )
+        .unwrap();
+        let doc = cubesfc_obs::json_parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(REBALANCE_SCHEMA)
+        );
+        assert_eq!(doc.get("steps").and_then(|v| v.as_u64()), Some(6));
+        let recs = doc.get("records").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(recs.len(), 6);
+        let table = report.render_table();
+        assert!(table.contains("summary:"));
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let (graph, curve, mesh) = setup(4);
+        let model = LoadModel::from_mesh(&mesh, TrajectoryKind::named("amr", 4).unwrap());
+        let initial = uniform_split(&curve, 4);
+        let mut backend = IncrementalSfc::new(curve);
+        let err = run_rebalance(
+            &graph,
+            &model,
+            &mut backend,
+            RebalancePolicy::named("threshold").unwrap(),
+            initial.clone(),
+            &config(0, 4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BalanceError::BadConfig { .. }));
+        let err = run_rebalance(
+            &graph,
+            &model,
+            &mut backend,
+            RebalancePolicy::named("threshold").unwrap(),
+            initial,
+            &config(4, 5),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BalanceError::BadConfig { .. }));
+    }
+}

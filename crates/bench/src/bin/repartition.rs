@@ -63,7 +63,7 @@ fn main() {
         let w = storm_weights(&mesh, lon);
 
         let sfc = partition_curve_weighted(curve, nproc, &w).unwrap();
-        let f_sfc = migration_fraction(&prev_sfc, &sfc);
+        let f_sfc = migration_fraction(&prev_sfc, &sfc).unwrap();
 
         let mut opts = PartitionOptions {
             weights: Some(w),
@@ -71,7 +71,7 @@ fn main() {
         };
         opts.graph_config.seed = step as u64; // fresh solve, as AMR would
         let kw = partition(&mesh, PartitionMethod::MetisKway, nproc, &opts).unwrap();
-        let f_kway = migration_fraction(&prev_kway, &kw);
+        let f_kway = migration_fraction(&prev_kway, &kw).unwrap();
 
         println!(
             "{:>6} {:>15.1}% {:>17.1}%",

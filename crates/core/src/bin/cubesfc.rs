@@ -7,8 +7,17 @@
 //! cubesfc render    --ne 8 --nproc 24 --output net.ppm [--ascii]
 //! cubesfc info      --ne 8                       # mesh + curve facts
 //! cubesfc experiment [--ne N] [--max-points M] [--jobs N] [--serial]
+//! cubesfc rebalance --ne 16 --nproc 64 --steps 50 --trajectory amr
+//!                   [--policy threshold|periodic|costbenefit] [--method sfc|kway|...]
+//!                   [--every N] [--trigger LB] [--horizon N] [--json FILE]
 //! cubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]
 //! ```
+//!
+//! `rebalance` simulates a time-varying load (`--trajectory`) over
+//! `--steps` timesteps, rebalancing with the chosen `--policy`:
+//! `--method sfc` re-splits the global curve incrementally, any other
+//! method recomputes from scratch each trigger. The per-step table goes
+//! to stdout; `--json FILE` writes the `cubesfc-rebalance-v1` report.
 //!
 //! `experiment` runs the paper's full (K, Nproc, method) grid — every
 //! method at the equal-share processor counts of every Table-1
@@ -62,6 +71,20 @@ struct Args {
     max_points: usize,
     /// Run `experiment` without the worker pool.
     serial: bool,
+    /// Timesteps for `rebalance`.
+    steps: usize,
+    /// Load trajectory for `rebalance` (amr|diurnal|fault).
+    trajectory: String,
+    /// Policy for `rebalance` (threshold|periodic|costbenefit).
+    policy: String,
+    /// JSON report path for `rebalance`.
+    json: Option<String>,
+    /// Override the periodic policy's period.
+    every: Option<usize>,
+    /// Override the threshold policy's trigger LB.
+    trigger: Option<f64>,
+    /// Override the cost-benefit policy's horizon.
+    horizon: Option<usize>,
 }
 
 /// What to do with the profile when the command finishes.
@@ -80,6 +103,9 @@ fn usage() -> ExitCode {
          \t[--trace FILE]  (or CUBESFC_TRACE=FILE)\n\
          \tcubesfc experiment [--ne N] [--max-points M] [--jobs N] [--serial]\n\
          \t  (CUBESFC_JOBS=N sets the pool size when --jobs is absent)\n\
+         \tcubesfc rebalance --ne N --nproc P [--steps S] [--trajectory amr|diurnal|fault]\n\
+         \t  [--policy threshold|periodic|costbenefit] [--method sfc|kway|tv|rb]\n\
+         \t  [--every N] [--trigger LB] [--horizon N] [--json FILE] [--seed N]\n\
          \tcubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]\n\
          \tcubesfc --version"
     );
@@ -105,6 +131,13 @@ fn parse_args() -> Result<Args, String> {
         jobs: None,
         max_points: 4,
         serial: false,
+        steps: 20,
+        trajectory: "amr".to_string(),
+        policy: "threshold".to_string(),
+        json: None,
+        every: None,
+        trigger: None,
+        horizon: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -183,6 +216,50 @@ fn parse_args() -> Result<Args, String> {
                 args.max_points = m;
             }
             "--serial" => args.serial = true,
+            "--steps" => {
+                let s: usize = it
+                    .next()
+                    .ok_or("--steps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?;
+                if s == 0 {
+                    return Err("--steps must be positive".into());
+                }
+                args.steps = s;
+            }
+            "--trajectory" => args.trajectory = it.next().ok_or("--trajectory needs a value")?,
+            "--policy" => args.policy = it.next().ok_or("--policy needs a value")?,
+            "--json" => args.json = Some(it.next().ok_or("--json needs a value")?),
+            "--every" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--every: {e}"))?;
+                if n == 0 {
+                    return Err("--every must be positive".into());
+                }
+                args.every = Some(n);
+            }
+            "--trigger" => {
+                let t: f64 = it
+                    .next()
+                    .ok_or("--trigger needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trigger: {e}"))?;
+                if !t.is_finite() || !(0.0..1.0).contains(&t) {
+                    return Err("--trigger must be an LB in [0, 1)".into());
+                }
+                args.trigger = Some(t);
+            }
+            "--horizon" => {
+                args.horizon = Some(
+                    it.next()
+                        .ok_or("--horizon needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?,
+                )
+            }
             other if !other.starts_with('-') => args.paths.push(other.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -364,12 +441,99 @@ fn run_experiment(args: &Args) -> Result<(), String> {
     emit(&args.output, out.as_bytes())
 }
 
+/// Drive a load trajectory through a rebalance policy and backend,
+/// printing the per-step table and optionally writing the JSON report.
+fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
+    use cubesfc::balance::{
+        run_rebalance, IncrementalSfc, LoadModel, RebalancePolicy, Repartitioner, SimConfig,
+        TrajectoryKind,
+    };
+    use cubesfc::{MeshCache, MethodRepartitioner};
+
+    if args.nproc == 0 {
+        return Err("--nproc is required".into());
+    }
+    let kind = TrajectoryKind::named(&args.trajectory, args.steps).ok_or(format!(
+        "unknown trajectory '{}' (expected amr, diurnal, or fault)",
+        args.trajectory
+    ))?;
+    let mut policy = RebalancePolicy::named(&args.policy).ok_or(format!(
+        "unknown policy '{}' (expected threshold, periodic, or costbenefit)",
+        args.policy
+    ))?;
+    match &mut policy {
+        RebalancePolicy::Threshold { trigger, rearm } => {
+            if let Some(t) = args.trigger {
+                *trigger = t;
+                *rearm = t / 2.0;
+            }
+        }
+        RebalancePolicy::Periodic { every } => {
+            if let Some(n) = args.every {
+                *every = n;
+            }
+        }
+        RebalancePolicy::CostBenefit { horizon } => {
+            if let Some(h) = args.horizon {
+                *horizon = h;
+            }
+        }
+    }
+
+    let cache = MeshCache::new();
+    let bundle = cache.bundle(args.ne);
+    let model = LoadModel::from_mesh(&bundle.mesh, kind);
+    let config = SimConfig {
+        steps: args.steps,
+        nproc: args.nproc,
+        machine: MachineModel::ncar_p690(),
+        cost: CostModel::seam_climate(),
+    };
+
+    // The SFC method rebalances incrementally on its fixed curve; the
+    // graph methods recompute from scratch each trigger. Both start from
+    // the same uniform-weight static partition of their own method.
+    let mut opts = PartitionOptions::default();
+    opts.graph_config.seed = args.seed;
+    let initial =
+        partition(&bundle.mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
+    let mut backend: Box<dyn Repartitioner> = match args.method {
+        PartitionMethod::Sfc => Box::new(IncrementalSfc::new(
+            bundle
+                .mesh
+                .curve_required()
+                .map_err(|e| e.to_string())?
+                .clone(),
+        )),
+        m => Box::new(MethodRepartitioner::new(bundle.clone(), m, args.seed).with_options(opts)),
+    };
+
+    let report = run_rebalance(
+        &bundle.graph,
+        &model,
+        backend.as_mut(),
+        policy,
+        initial,
+        &config,
+    )
+    .map_err(|e| e.to_string())?;
+
+    print!("{}", report.render_table());
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run(args: Args) -> Result<(), String> {
     if args.command == "compare" {
         return run_compare(&args);
     }
     if args.command == "experiment" {
         return run_experiment(&args);
+    }
+    if args.command == "rebalance" {
+        return run_rebalance_cmd(&args);
     }
     let mesh = CubedSphere::new(args.ne);
     let mut opts = PartitionOptions::default();

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dynamics;
 pub mod engine;
 pub mod error;
 pub mod experiment;
@@ -55,6 +56,7 @@ pub mod report;
 pub mod sfc_partition;
 pub mod viz;
 
+pub use dynamics::MethodRepartitioner;
 pub use engine::{
     cells_for, paper_grid, resolve_jobs, set_jobs, CellResult, ExperimentCell, ExperimentEngine,
     MeshBundle, MeshCache,
@@ -66,11 +68,15 @@ pub use partitioner::{
     PartitionMethod, PartitionOptions,
 };
 pub use rcb::partition_rcb;
-pub use repartition::{matched_migration, migration_fraction, raw_migration};
+pub use repartition::{
+    match_labels, matched_migration, migration_fraction, raw_migration, MigrationError,
+    EXACT_MATCH_LIMIT,
+};
 pub use report::{best_metis, PartitionReport};
 pub use sfc_partition::{partition_curve, partition_curve_weighted, segment_ranges};
 
 // Re-export the sub-crates so downstream users need only one dependency.
+pub use cubesfc_balance as balance;
 pub use cubesfc_graph::{self as graph, Partition, PartitionConfig};
 pub use cubesfc_mesh::{self as mesh, CubedSphere, ElemId, GlobalCurve, Topology};
 pub use cubesfc_obs as obs;

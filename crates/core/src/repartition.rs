@@ -11,103 +11,46 @@
 //!
 //! This module measures that: the migration volume between two partitions
 //! (optimally matched over part renumberings, so "everything moved one
-//! rank over" does not count as a full reshuffle).
+//! rank over" does not count as a full reshuffle). The counting
+//! primitives live in `cubesfc-graph` (see [`cubesfc_graph::migration`])
+//! so the dynamic-balance layer shares them; they are re-exported here
+//! under their historical names. Mismatched partition lengths are a
+//! typed [`MigrationError`] rather than a panic — callers comparing
+//! partitions from different sources get a recoverable error.
 
-use cubesfc_graph::Partition;
-
-/// Number of elements whose part differs between `a` and `b`
-/// (raw, label-sensitive).
-pub fn raw_migration(a: &Partition, b: &Partition) -> usize {
-    assert_eq!(a.len(), b.len(), "partition size mismatch");
-    a.assignment()
-        .iter()
-        .zip(b.assignment())
-        .filter(|(x, y)| x != y)
-        .count()
-}
-
-/// Migration volume under the best greedy matching of `b`'s part labels
-/// onto `a`'s: each new part is relabelled to the old part it overlaps
-/// most (one-to-one, largest overlaps first), then the number of moved
-/// elements is counted.
-///
-/// This is the number an element-migration layer would actually ship,
-/// since rank labels are arbitrary.
-pub fn matched_migration(a: &Partition, b: &Partition) -> usize {
-    assert_eq!(a.len(), b.len(), "partition size mismatch");
-    let ka = a.nparts();
-    let kb = b.nparts();
-    // Overlap counts.
-    let mut overlap = vec![0usize; ka * kb];
-    for (x, y) in a.assignment().iter().zip(b.assignment()) {
-        overlap[*x as usize * kb + *y as usize] += 1;
-    }
-    // Greedy maximum matching by overlap.
-    let mut pairs: Vec<(usize, usize, usize)> = Vec::with_capacity(ka * kb);
-    for pa in 0..ka {
-        for pb in 0..kb {
-            let o = overlap[pa * kb + pb];
-            if o > 0 {
-                pairs.push((o, pa, pb));
-            }
-        }
-    }
-    pairs.sort_unstable_by_key(|&(o, _, _)| std::cmp::Reverse(o));
-    let mut a_used = vec![false; ka];
-    let mut b_mapped = vec![usize::MAX; kb];
-    for (_, pa, pb) in pairs {
-        if !a_used[pa] && b_mapped[pb] == usize::MAX {
-            a_used[pa] = true;
-            b_mapped[pb] = pa;
-        }
-    }
-    // Unmatched new parts keep fresh labels (always migrations).
-    let mut next_fresh = ka;
-    for m in b_mapped.iter_mut() {
-        if *m == usize::MAX {
-            *m = next_fresh;
-            next_fresh += 1;
-        }
-    }
-    a.assignment()
-        .iter()
-        .zip(b.assignment())
-        .filter(|(x, y)| **x as usize != b_mapped[**y as usize])
-        .count()
-}
-
-/// Fraction of elements migrating (matched), in `[0, 1]`.
-pub fn migration_fraction(a: &Partition, b: &Partition) -> f64 {
-    matched_migration(a, b) as f64 / a.len() as f64
-}
+pub use cubesfc_graph::{
+    match_labels, matched_migration, migration_fraction, raw_migration, MigrationError,
+    EXACT_MATCH_LIMIT,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partitioner::{partition, PartitionMethod, PartitionOptions};
     use crate::sfc_partition::partition_curve_weighted;
+    use cubesfc_graph::Partition;
     use cubesfc_mesh::CubedSphere;
 
     #[test]
     fn identical_partitions_do_not_migrate() {
         let p = Partition::new(3, vec![0, 1, 2, 0, 1, 2]);
-        assert_eq!(raw_migration(&p, &p), 0);
-        assert_eq!(matched_migration(&p, &p), 0);
+        assert_eq!(raw_migration(&p, &p).unwrap(), 0);
+        assert_eq!(matched_migration(&p, &p).unwrap(), 0);
     }
 
     #[test]
     fn relabeled_partitions_do_not_migrate_after_matching() {
         let a = Partition::new(2, vec![0, 0, 1, 1]);
         let b = Partition::new(2, vec![1, 1, 0, 0]);
-        assert_eq!(raw_migration(&a, &b), 4);
-        assert_eq!(matched_migration(&a, &b), 0);
+        assert_eq!(raw_migration(&a, &b).unwrap(), 4);
+        assert_eq!(matched_migration(&a, &b).unwrap(), 0);
     }
 
     #[test]
     fn single_move_counts_once() {
         let a = Partition::new(2, vec![0, 0, 1, 1]);
         let b = Partition::new(2, vec![0, 1, 1, 1]);
-        assert_eq!(matched_migration(&a, &b), 1);
+        assert_eq!(matched_migration(&a, &b).unwrap(), 1);
     }
 
     #[test]
@@ -115,7 +58,7 @@ mod tests {
         let a = Partition::new(2, vec![0, 0, 1, 1]);
         let b = Partition::new(4, vec![0, 1, 2, 3]);
         // Best matching keeps 2 elements in place.
-        assert_eq!(matched_migration(&a, &b), 2);
+        assert_eq!(matched_migration(&a, &b).unwrap(), 2);
     }
 
     #[test]
@@ -138,7 +81,7 @@ mod tests {
         }
         let sfc_a = partition_curve_weighted(curve, nproc, &w0).unwrap();
         let sfc_b = partition_curve_weighted(curve, nproc, &w1).unwrap();
-        let sfc_moved = migration_fraction(&sfc_a, &sfc_b);
+        let sfc_moved = migration_fraction(&sfc_a, &sfc_b).unwrap();
         assert!(
             sfc_moved < 0.20,
             "SFC migration should be incremental: {sfc_moved}"
@@ -152,7 +95,7 @@ mod tests {
         o2.graph_config.seed = 2;
         let kw_a = partition(&mesh, PartitionMethod::MetisKway, nproc, &o1).unwrap();
         let kw_b = partition(&mesh, PartitionMethod::MetisKway, nproc, &o2).unwrap();
-        let kw_moved = migration_fraction(&kw_a, &kw_b);
+        let kw_moved = migration_fraction(&kw_a, &kw_b).unwrap();
         assert!(
             sfc_moved < kw_moved,
             "SFC ({sfc_moved}) should migrate less than reseeded KWAY ({kw_moved})"
@@ -167,15 +110,18 @@ mod tests {
         let curve = mesh.curve().unwrap();
         let a = crate::sfc_partition::partition_curve(curve, 48).unwrap();
         let b = crate::sfc_partition::partition_curve(curve, 96).unwrap();
-        let frac = migration_fraction(&a, &b);
+        let frac = migration_fraction(&a, &b).unwrap();
         assert!(frac <= 0.5 + 1e-12, "doubling procs moved {frac}");
     }
 
     #[test]
-    #[should_panic(expected = "size mismatch")]
-    fn mismatched_lengths_panic() {
+    fn mismatched_lengths_are_a_typed_error() {
         let a = Partition::new(2, vec![0, 1]);
         let b = Partition::new(2, vec![0, 1, 1]);
-        raw_migration(&a, &b);
+        let expect = MigrationError::SizeMismatch { left: 2, right: 3 };
+        assert_eq!(raw_migration(&a, &b), Err(expect));
+        assert_eq!(matched_migration(&a, &b), Err(expect));
+        assert_eq!(migration_fraction(&a, &b), Err(expect));
+        assert!(expect.to_string().contains('2') && expect.to_string().contains('3'));
     }
 }

@@ -8,7 +8,7 @@
 //! the curve at prefix-sum boundaries of per-element work weights.
 
 use crate::error::PartitionError;
-use cubesfc_graph::Partition;
+use cubesfc_graph::{split_order_weighted, Partition, SplitError};
 use cubesfc_mesh::GlobalCurve;
 
 /// Partition the curve into `nproc` near-equal contiguous segments.
@@ -51,61 +51,29 @@ pub fn partition_curve_weighted(
     nproc: usize,
     weights: &[f64],
 ) -> Result<Partition, PartitionError> {
-    let _span = cubesfc_obs::span("slice");
-    let k = curve.len();
-    if nproc == 0 {
-        return Err(PartitionError::ZeroParts);
-    }
-    if nproc > k {
-        return Err(PartitionError::TooManyParts { nproc, nelems: k });
-    }
-    if weights.len() != k {
-        return Err(PartitionError::BadWeights {
-            reason: "weight vector length must equal element count",
-        });
-    }
-    // Non-finite weights get their own error: a NaN passes every `< 0.0`
-    // sign check (all comparisons on NaN are false) and an infinity makes
-    // `total` infinite, so either would silently break the prefix-sum
-    // split targets below instead of failing at the boundary.
-    if let Some(index) = weights.iter().position(|w| !w.is_finite()) {
-        return Err(PartitionError::NonFiniteWeight { index });
-    }
-    if weights.iter().any(|&w| w < 0.0) {
-        return Err(PartitionError::BadWeights {
-            reason: "weights must be non-negative",
-        });
-    }
-    let total: f64 = weights.iter().sum();
-    if total <= 0.0 {
-        return Err(PartitionError::BadWeights {
-            reason: "total weight must be positive",
-        });
-    }
+    split_order_weighted(curve.len(), |r| curve.elem_at(r).index(), nproc, weights)
+        .map_err(split_error_to_partition_error)
+}
 
-    let mut assign = vec![0u32; k];
-    let mut part = 0usize;
-    let mut acc = 0.0f64;
-    let mut count_in_part = 0usize;
-    for rank in 0..k {
-        let e = curve.elem_at(rank);
-        let remaining = k - rank; // elements still to assign, incl. this
-        let parts_after = nproc - part - 1;
-        // Advance when the running weight crossed this part's boundary —
-        // or when the remaining elements are only just enough to give one
-        // to every later part. Never advance away from an empty part.
-        let target = total * (part as f64 + 1.0) / nproc as f64;
-        let must = count_in_part > 0 && remaining == parts_after;
-        let may = count_in_part > 0 && acc >= target && remaining > parts_after;
-        if part + 1 < nproc && (must || may) {
-            part += 1;
-            count_in_part = 0;
+/// Map the order-level splitter's errors onto the top-level API's,
+/// preserving this module's historical messages exactly.
+fn split_error_to_partition_error(e: SplitError) -> PartitionError {
+    match e {
+        SplitError::ZeroParts => PartitionError::ZeroParts,
+        SplitError::TooManyParts { nproc, nelems } => {
+            PartitionError::TooManyParts { nproc, nelems }
         }
-        assign[e.index()] = part as u32;
-        count_in_part += 1;
-        acc += weights[e.index()];
+        SplitError::BadLength => PartitionError::BadWeights {
+            reason: "weight vector length must equal element count",
+        },
+        SplitError::Negative => PartitionError::BadWeights {
+            reason: "weights must be non-negative",
+        },
+        SplitError::NonFinite { index } => PartitionError::NonFiniteWeight { index },
+        SplitError::ZeroTotal => PartitionError::BadWeights {
+            reason: "total weight must be positive",
+        },
     }
-    Ok(Partition::new(nproc, assign))
 }
 
 /// The contiguous curve ranks `[start, end)` owned by each part of an SFC

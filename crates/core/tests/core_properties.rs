@@ -84,10 +84,10 @@ proptest! {
         let a = partition_curve(curve, k1).unwrap();
         let b = partition_curve(curve, k2).unwrap();
         // Symmetric-ish and bounded.
-        let ab = matched_migration(&a, &b);
-        let ba = matched_migration(&b, &a);
+        let ab = matched_migration(&a, &b).unwrap();
+        let ba = matched_migration(&b, &a).unwrap();
         prop_assert!(ab <= k && ba <= k);
-        prop_assert_eq!(matched_migration(&a, &a), 0);
+        prop_assert_eq!(matched_migration(&a, &a).unwrap(), 0);
         // Equal part counts: identical curve splits.
         if k1 == k2 {
             prop_assert_eq!(ab, 0);

@@ -44,15 +44,22 @@ pub mod initial;
 pub mod kway;
 pub mod marker;
 pub mod metrics;
+pub mod migration;
 pub mod partition;
 pub mod rng;
+pub mod split;
 pub mod tv;
 
 pub use bisect::{multilevel_bisect, recursive_bisection, recursive_bisection_serial};
 pub use csr::{CsrGraph, GraphError};
 pub use kway::kway;
 pub use marker::Marker;
-pub use metrics::{load_balance, partition_stats, PartitionStats};
+pub use metrics::{load_balance, load_balance_f64, part_loads, partition_stats, PartitionStats};
+pub use migration::{
+    match_labels, matched_migration, migration_fraction, raw_migration, MigrationError,
+    EXACT_MATCH_LIMIT,
+};
 pub use partition::{Partition, PartitionConfig};
 pub use rng::SplitMix64;
+pub use split::{split_order_weighted, SplitError};
 pub use tv::kway_volume;

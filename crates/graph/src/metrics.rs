@@ -28,6 +28,35 @@ pub fn load_balance(values: &[u64]) -> f64 {
     (max as f64 - avg) / max as f64
 }
 
+/// Eq. (1) load balance over real-valued per-part loads (the
+/// time-varying-weight analogue of [`load_balance`]). Non-finite or
+/// non-positive maxima degenerate to 0, matching the integer variant.
+pub fn load_balance_f64(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let max = values
+        .iter()
+        .cloned()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return 0.0;
+    }
+    let avg = values.iter().sum::<f64>() / values.len() as f64;
+    (max - avg) / max
+}
+
+/// Per-part sums of real-valued element weights (the load each part
+/// carries at one instant of a weight trajectory).
+pub fn part_loads(p: &Partition, weights: &[f64]) -> Vec<f64> {
+    let mut loads = vec![0.0f64; p.nparts()];
+    for (e, &part) in p.assignment().iter().enumerate() {
+        loads[part as usize] += weights[e];
+    }
+    loads
+}
+
 /// Number of edges cut by the partition (each undirected edge counted
 /// once) — the paper's `edgecut`.
 pub fn edgecut(g: &CsrGraph, p: &Partition) -> u64 {

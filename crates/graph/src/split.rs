@@ -1,0 +1,205 @@
+//! Weighted prefix-sum splitting of a 1-D element order.
+//!
+//! The space-filling-curve partitioners reduce partitioning to slicing a
+//! linear order into contiguous segments. This module holds the order-
+//! level splitting primitive: given a visit order (rank → element id)
+//! and per-element work weights, place the `nproc - 1` cuts where the
+//! running weight crosses `i·W/nproc`, guaranteeing every part at least
+//! one element. It lives in the graph crate (below both the mesh and the
+//! dynamic-balance layers) so the static partitioner and the incremental
+//! rebalancer share one implementation — incremental re-splits are just
+//! this function on the *same* order with new weights, which is what
+//! keeps successive cuts nested and migration volumes low.
+
+use crate::partition::Partition;
+use std::fmt;
+
+/// Errors from [`split_order_weighted`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SplitError {
+    /// Zero parts requested.
+    ZeroParts,
+    /// More parts than elements.
+    TooManyParts {
+        /// Requested part count.
+        nproc: usize,
+        /// Available elements.
+        nelems: usize,
+    },
+    /// Weight vector length does not equal the element count.
+    BadLength,
+    /// A weight is negative.
+    Negative,
+    /// A weight is NaN or infinite (index of the first offender).
+    NonFinite {
+        /// Index of the first non-finite element weight.
+        index: usize,
+    },
+    /// The weights sum to zero (or less), so no split targets exist.
+    ZeroTotal,
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::ZeroParts => write!(f, "part count must be positive"),
+            SplitError::TooManyParts { nproc, nelems } => {
+                write!(f, "{nproc} parts requested for {nelems} elements")
+            }
+            SplitError::BadLength => {
+                write!(f, "weight vector length must equal element count")
+            }
+            SplitError::Negative => write!(f, "weights must be non-negative"),
+            SplitError::NonFinite { index } => {
+                write!(f, "weight at element {index} is NaN or infinite")
+            }
+            SplitError::ZeroTotal => write!(f, "total weight must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Split a visit order into `nproc` contiguous segments of near-equal
+/// total weight.
+///
+/// `nelems` is the element count, `elem_at(rank)` maps a position along
+/// the order to the element id visited there (a bijection onto
+/// `0..nelems`), and `weights[e]` is the work of element `e` (indexed by
+/// element id, not rank). A part boundary is placed where the running
+/// weight crosses `i·W/nproc`; every part receives at least one element
+/// when `nproc ≤ nelems`.
+pub fn split_order_weighted(
+    nelems: usize,
+    elem_at: impl Fn(usize) -> usize,
+    nproc: usize,
+    weights: &[f64],
+) -> Result<Partition, SplitError> {
+    let _span = cubesfc_obs::span("slice");
+    if nproc == 0 {
+        return Err(SplitError::ZeroParts);
+    }
+    if nproc > nelems {
+        return Err(SplitError::TooManyParts { nproc, nelems });
+    }
+    if weights.len() != nelems {
+        return Err(SplitError::BadLength);
+    }
+    // Non-finite weights get their own error: a NaN passes every `< 0.0`
+    // sign check (all comparisons on NaN are false) and an infinity makes
+    // `total` infinite, so either would silently break the prefix-sum
+    // split targets below instead of failing at the boundary.
+    if let Some(index) = weights.iter().position(|w| !w.is_finite()) {
+        return Err(SplitError::NonFinite { index });
+    }
+    if weights.iter().any(|&w| w < 0.0) {
+        return Err(SplitError::Negative);
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(SplitError::ZeroTotal);
+    }
+
+    let mut assign = vec![0u32; nelems];
+    let mut part = 0usize;
+    let mut acc = 0.0f64;
+    let mut count_in_part = 0usize;
+    for rank in 0..nelems {
+        let e = elem_at(rank);
+        let remaining = nelems - rank; // elements still to assign, incl. this
+        let parts_after = nproc - part - 1;
+        // Advance when the running weight crossed this part's boundary —
+        // or when the remaining elements are only just enough to give one
+        // to every later part. Never advance away from an empty part.
+        let target = total * (part as f64 + 1.0) / nproc as f64;
+        let must = count_in_part > 0 && remaining == parts_after;
+        let may = count_in_part > 0 && acc >= target && remaining > parts_after;
+        if part + 1 < nproc && (must || may) {
+            part += 1;
+            count_in_part = 0;
+        }
+        assign[e] = part as u32;
+        count_in_part += 1;
+        acc += weights[e];
+    }
+    Ok(Partition::new(nproc, assign))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_order_splits_by_weight() {
+        // 8 elements, first half 3× heavier: part 0 takes fewer elements.
+        let mut w = vec![1.0; 8];
+        w[..4].fill(3.0);
+        let p = split_order_weighted(8, |r| r, 2, &w).unwrap();
+        let sizes = p.part_sizes();
+        assert!(sizes[0] < sizes[1], "{sizes:?}");
+    }
+
+    #[test]
+    fn permuted_order_respects_rank_not_id() {
+        // Reversed order: weight skew on high element ids lands early on
+        // the order, so the cut still balances along the *order*.
+        let k = 12;
+        let mut w = vec![1.0; k];
+        w[11] = 100.0;
+        let p = split_order_weighted(k, |r| k - 1 - r, 2, &w).unwrap();
+        // Element 11 is visited first; it alone saturates part 0.
+        assert_eq!(p.part_of(11), 0);
+        assert_eq!(p.part_sizes()[0], 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        let w = vec![1.0; 4];
+        assert_eq!(
+            split_order_weighted(4, |r| r, 0, &w),
+            Err(SplitError::ZeroParts)
+        );
+        assert_eq!(
+            split_order_weighted(4, |r| r, 5, &w),
+            Err(SplitError::TooManyParts {
+                nproc: 5,
+                nelems: 4
+            })
+        );
+        assert_eq!(
+            split_order_weighted(4, |r| r, 2, &[1.0; 3]),
+            Err(SplitError::BadLength)
+        );
+        assert_eq!(
+            split_order_weighted(4, |r| r, 2, &[0.0; 4]),
+            Err(SplitError::ZeroTotal)
+        );
+        assert_eq!(
+            split_order_weighted(4, |r| r, 2, &[1.0, -1.0, 1.0, 1.0]),
+            Err(SplitError::Negative)
+        );
+        assert_eq!(
+            split_order_weighted(4, |r| r, 2, &[1.0, f64::NAN, 1.0, 1.0]),
+            Err(SplitError::NonFinite { index: 1 })
+        );
+    }
+
+    #[test]
+    fn every_part_nonempty_under_extreme_skew() {
+        let k = 16;
+        let mut w = vec![1e-12; k];
+        w[0] = 1e6;
+        let p = split_order_weighted(k, |r| r, k, &w).unwrap();
+        assert_eq!(p.nonempty_parts(), k);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SplitError::TooManyParts {
+            nproc: 9,
+            nelems: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        assert!(SplitError::NonFinite { index: 7 }.to_string().contains('7'));
+    }
+}

@@ -72,6 +72,14 @@ impl CostModel {
     pub fn bytes_per_point_per_stage(&self) -> f64 {
         self.bytes_per_value * self.nlev as f64 * self.nvar as f64
     }
+
+    /// Bytes of prognostic state one element carries: `np² · nlev · nvar`
+    /// values. This is what a migration layer ships when the element
+    /// changes owner (the climate configuration works out to ≈ 53 kB per
+    /// element), so rebalance cost models price moves with it.
+    pub fn element_state_bytes(&self) -> f64 {
+        (self.np * self.np) as f64 * self.nlev as f64 * self.nvar as f64 * self.bytes_per_value
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +107,13 @@ mod tests {
         let a = CostModel::mini_app(4, 1).flops_per_element_step();
         let b = CostModel::mini_app(8, 1).flops_per_element_step();
         assert!(b / a > 6.0 && b / a < 9.0, "{}", b / a);
+    }
+
+    #[test]
+    fn element_state_is_tens_of_kilobytes_at_climate_scale() {
+        // 64 points × 26 levels × 4 vars × 8 B ≈ 53 kB.
+        let b = CostModel::seam_climate().element_state_bytes();
+        assert!((b - 53_248.0).abs() < 1.0, "{b}");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use field::Field;
 pub use gll::GllBasis;
 pub use machine::MachineModel;
 pub use output::{locate_element, sample_point, to_latlon};
-pub use perfmodel::{evaluate, PerfReport};
+pub use perfmodel::{evaluate, evaluate_weighted, PerfReport};
 pub use rankmap::{greedy_node_packing, internode_traffic_fraction, RankMap};
 pub use shallow_water::{tc2_initial, SwConfig, SwSolver};
 pub use solver::{gaussian_blob, AdvectionConfig, SerialSolver};

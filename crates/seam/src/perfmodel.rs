@@ -51,7 +51,6 @@ pub fn evaluate(
     cost: &CostModel,
 ) -> PerfReport {
     let _span = cubesfc_obs::span("evaluate");
-    let nproc = partition.nparts();
     let stats = partition_stats(graph, partition);
 
     // Compute time: element count × flops per element / sustained rate.
@@ -61,6 +60,72 @@ pub fn evaluate(
         .iter()
         .map(|&ne| ne as f64 * fe / machine.sustained_flops)
         .collect();
+    let total_elems = graph.total_vwgt() as f64;
+
+    finish_report(
+        graph,
+        partition,
+        machine,
+        cost,
+        stats,
+        per_rank_compute,
+        total_elems,
+    )
+}
+
+/// [`evaluate`] with real-valued per-element work weights.
+///
+/// The static model prices compute by element *count*; under a
+/// time-varying load (AMR refinement, physics waves, rank slowdowns)
+/// each element's cost is `weights[e]` element-equivalents instead, so
+/// per-rank compute is the weighted sum. Communication is unchanged —
+/// halo sizes depend on the partition geometry, not on how hard each
+/// element's physics is this step. This is what a cost-aware rebalance
+/// policy compares: the modelled step time of the old and candidate
+/// partitions under the *current* weights.
+pub fn evaluate_weighted(
+    graph: &CsrGraph,
+    partition: &Partition,
+    weights: &[f64],
+    machine: &MachineModel,
+    cost: &CostModel,
+) -> PerfReport {
+    let _span = cubesfc_obs::span("evaluate");
+    assert_eq!(weights.len(), graph.nv(), "one weight per element required");
+    let stats = partition_stats(graph, partition);
+
+    let fe = cost.flops_per_element_step();
+    let mut per_rank_compute = vec![0.0f64; partition.nparts()];
+    for (e, &part) in partition.assignment().iter().enumerate() {
+        per_rank_compute[part as usize] += weights[e] * fe / machine.sustained_flops;
+    }
+    let total_work: f64 = weights.iter().sum();
+
+    finish_report(
+        graph,
+        partition,
+        machine,
+        cost,
+        stats,
+        per_rank_compute,
+        total_work,
+    )
+}
+
+/// Shared tail of the model: alpha-beta communication per neighbour
+/// rank, then the max-over-ranks step time and derived rates.
+/// `total_elems` is in element-equivalents (weighted or counted).
+fn finish_report(
+    graph: &CsrGraph,
+    partition: &Partition,
+    machine: &MachineModel,
+    cost: &CostModel,
+    stats: PartitionStats,
+    per_rank_compute: Vec<f64>,
+    total_elems: f64,
+) -> PerfReport {
+    let nproc = partition.nparts();
+    let fe = cost.flops_per_element_step();
 
     // Communication time: one aggregated message per neighbour rank per
     // stage, alpha-beta per route.
@@ -81,7 +146,6 @@ pub fn evaluate(
         .map(|(c, m)| c + m)
         .fold(0.0f64, f64::max);
 
-    let total_elems = graph.total_vwgt() as f64;
     let serial_time = total_elems * fe / machine.sustained_flops;
     let total_flops = total_elems * fe;
 
@@ -211,6 +275,44 @@ mod tests {
             r_sfc.time_per_step,
             r_kway.time_per_step
         );
+    }
+
+    #[test]
+    fn unit_weights_reproduce_the_unweighted_model() {
+        let g = sphere_graph(4);
+        let p = sfc_partition(4, 8);
+        let m = MachineModel::ncar_p690();
+        let c = CostModel::seam_climate();
+        let a = evaluate(&g, &p, &m, &c);
+        let b = evaluate_weighted(&g, &p, &[1.0; 96], &m, &c);
+        // Per-element accumulation reorders the float sums, so compare
+        // to a relative tolerance rather than bitwise.
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(y.abs()).max(1.0);
+        assert!(close(a.time_per_step, b.time_per_step));
+        for (x, y) in a.per_rank_compute.iter().zip(&b.per_rank_compute) {
+            assert!(close(*x, *y));
+        }
+        assert_eq!(a.per_rank_comm, b.per_rank_comm);
+        assert_eq!(a.tcv_bytes, b.tcv_bytes);
+    }
+
+    #[test]
+    fn weighted_hotspot_slows_only_its_rank() {
+        let g = sphere_graph(4);
+        let p = sfc_partition(4, 8);
+        let m = MachineModel::zero_comm();
+        let c = CostModel::seam_climate();
+        // Double the work of every element on rank 3.
+        let w: Vec<f64> = p
+            .assignment()
+            .iter()
+            .map(|&part| if part == 3 { 2.0 } else { 1.0 })
+            .collect();
+        let r = evaluate_weighted(&g, &p, &w, &m, &c);
+        let base = evaluate(&g, &p, &m, &c);
+        assert!((r.per_rank_compute[3] / base.per_rank_compute[3] - 2.0).abs() < 1e-12);
+        assert!((r.per_rank_compute[0] / base.per_rank_compute[0] - 1.0).abs() < 1e-12);
+        assert!((r.time_per_step / base.time_per_step - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -497,3 +497,120 @@ fn experiment_rejects_bad_flags() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn rebalance_smoke_runs_both_policies_and_writes_json() {
+    use cubesfc::obs::JsonValue;
+    let dir = tmpdir("rebalance");
+    for policy in ["threshold", "periodic"] {
+        let path = dir.join(format!("{policy}.json"));
+        let out = cli()
+            .args(["rebalance", "--ne", "4", "--nproc", "8", "--steps", "3"])
+            .args(["--trajectory", "amr", "--policy", policy])
+            .args(["--json", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{policy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("summary:"), "{policy}:\n{text}");
+        assert!(text.contains("LB_pre"), "{policy}:\n{text}");
+
+        let doc = cubesfc::obs::json_parse(&std::fs::read_to_string(&path).unwrap())
+            .expect("rebalance report must be valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("cubesfc-rebalance-v1")
+        );
+        assert_eq!(doc.get("policy").and_then(JsonValue::as_str), Some(policy));
+        assert_eq!(doc.get("steps").and_then(JsonValue::as_u64), Some(3));
+        let records = doc
+            .get("records")
+            .and_then(JsonValue::as_arr)
+            .expect("records array");
+        assert_eq!(records.len(), 3);
+        for s in records {
+            assert!(s.get("lb_before").and_then(JsonValue::as_f64).is_some());
+            assert!(s.get("moved_elems").and_then(JsonValue::as_u64).is_some());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rebalance_trace_has_one_lane_per_phase() {
+    use cubesfc::obs::JsonValue;
+    let dir = tmpdir("rebalance-trace");
+    let path = dir.join("trace.json");
+    let out = cli()
+        .args(["rebalance", "--ne", "4", "--nproc", "8", "--steps", "3"])
+        .args(["--policy", "periodic", "--every", "1"])
+        .args(["--trace", path.to_str().unwrap()])
+        .env_remove("CUBESFC_TRACE")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let v = cubesfc::obs::json_parse(&std::fs::read_to_string(&path).unwrap())
+        .expect("trace must be valid JSON");
+    assert_eq!(
+        v.get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(JsonValue::as_str),
+        Some("cubesfc-trace-v1")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+
+    // One Perfetto timeline row (thread_name metadata) per rebalance
+    // phase, so the loop reads as stacked lanes.
+    let lanes: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                && e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+        })
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(JsonValue::as_str)
+        })
+        .collect();
+    for want in ["weights", "policy", "repartition", "plan", "apply"] {
+        assert!(lanes.contains(&want), "missing lane {want:?} in {lanes:?}");
+    }
+
+    // Each phase lane actually carries slices: weights/policy run once
+    // per step, the rebalance phases once per trigger (--every 1 fires
+    // from the second step on).
+    let mut begins: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for e in events {
+        if e.get("ph").and_then(JsonValue::as_str) == Some("B") {
+            if let Some(name) = e.get("name").and_then(JsonValue::as_str) {
+                *begins.entry(name).or_insert(0) += 1;
+            }
+        }
+    }
+    for phase in ["weights", "policy"] {
+        assert!(
+            begins.get(phase).copied().unwrap_or(0) >= 3,
+            "phase {phase:?} has too few slices: {begins:?}"
+        );
+    }
+    for phase in ["repartition", "plan", "apply"] {
+        assert!(
+            begins.get(phase).copied().unwrap_or(0) >= 2,
+            "phase {phase:?} has too few slices: {begins:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -44,6 +44,9 @@ pub struct StepRecord {
     pub triggered: bool,
     /// Elements migrated this step.
     pub moved_elems: usize,
+    /// `moved_elems` as a fraction of the mesh (0 when no trigger) —
+    /// the churn signal telemetry alerting watches.
+    pub migration_fraction: f64,
     /// Bytes migrated this step.
     pub moved_bytes: f64,
     /// Modelled SEAM seconds per timestep on the adopted partition.
@@ -152,13 +155,19 @@ impl SimReport {
             let _ = write!(
                 s,
                 "    {{\"step\": {}, \"lb_before\": {}, \"lb_after\": {}, \
-                 \"triggered\": {}, \"moved_elems\": {}, \"moved_bytes\": {}, \
+                 \"lb_measured\": {}, \"triggered\": {}, \"moved_elems\": {}, \
+                 \"migration_fraction\": {}, \"moved_bytes\": {}, \
                  \"step_time\": {}, \"migration_time\": {}}}",
                 r.step,
                 json_f64(r.lb_before),
                 json_f64(r.lb_after),
+                // The telemetry stream's `lb_measured` gauge is the
+                // post-action Eq. (1) LB; exported under both names so
+                // rebalance-v1 and telemetry-v1 agree field-for-field.
+                json_f64(r.lb_after),
                 r.triggered,
                 r.moved_elems,
+                json_f64(r.migration_fraction),
                 json_f64(r.moved_bytes),
                 json_f64(r.step_time),
                 json_f64(r.migration_time),
@@ -272,7 +281,10 @@ pub fn run_rebalance(
 
     for step in 0..config.steps {
         let weights = model.weights_at(step, &current);
-        let lb_before = load_balance_f64(&part_loads(&current, &weights));
+        // Pre-action per-rank loads: telemetry's straggler signal must
+        // see the imbalance the policy reacts to, not the corrected one.
+        let loads_before = part_loads(&current, &weights);
+        let lb_before = load_balance_f64(&loads_before);
 
         // The cost-benefit policy needs the candidate *before* deciding;
         // the reactive policies decide first and repartition only on a
@@ -303,6 +315,7 @@ pub fn run_rebalance(
             lb_after: lb_before,
             triggered: decision.trigger,
             moved_elems: 0,
+            migration_fraction: 0.0,
             moved_bytes: 0.0,
             step_time: 0.0,
             migration_time: 0.0,
@@ -315,6 +328,7 @@ pub fn run_rebalance(
             };
             let _phase = begin_phase("apply");
             record.moved_elems = plan.moved_elems;
+            record.migration_fraction = plan.moved_elems as f64 / graph.nv().max(1) as f64;
             record.moved_bytes = plan.moved_bytes;
             record.migration_time = migration_seconds(plan.moved_bytes, &config.machine);
             current = plan.target;
@@ -328,6 +342,19 @@ pub fn run_rebalance(
             evaluate_weighted(graph, &current, &weights, &config.machine, &config.cost)
                 .time_per_step;
         cubesfc_obs::histogram_record("rebalance.lb_permille", (record.lb_after * 1000.0) as u64);
+        cubesfc_obs::telemetry_record(
+            "rebalance",
+            step as u64,
+            &[
+                ("lb_before", record.lb_before),
+                ("lb_measured", record.lb_after),
+                ("migration_fraction", record.migration_fraction),
+                ("step_time", record.step_time),
+                ("migration_time", record.migration_time),
+                ("triggered", if record.triggered { 1.0 } else { 0.0 }),
+            ],
+            &loads_before,
+        );
         records.push(record);
     }
 

@@ -46,6 +46,10 @@ pub enum TrajectoryKind {
         /// Steps per full rotation.
         period: usize,
     },
+    /// Constant unit weight everywhere: the null trajectory. No policy
+    /// should ever trigger on it, which makes it the control run for
+    /// telemetry alerting (a healthy stream fires no alerts).
+    Uniform,
     /// Processor `rank` runs `factor`× slower during `[start, end)`.
     RankSlowdown {
         /// The degraded rank.
@@ -62,9 +66,10 @@ pub enum TrajectoryKind {
 impl TrajectoryKind {
     /// The canonical named trajectories the CLI and benchmarks replay,
     /// with window parameters scaled to the `steps` horizon.
-    /// Names: `amr`, `diurnal`, `fault`.
+    /// Names: `amr`, `diurnal`, `fault`, `uniform`.
     pub fn named(name: &str, steps: usize) -> Option<TrajectoryKind> {
         match name {
+            "uniform" => Some(TrajectoryKind::Uniform),
             "amr" => Some(TrajectoryKind::AmrHotspot {
                 radius: 0.45,
                 boost: 4.0,
@@ -90,6 +95,7 @@ impl TrajectoryKind {
         match self {
             TrajectoryKind::AmrHotspot { .. } => "amr",
             TrajectoryKind::Diurnal { .. } => "diurnal",
+            TrajectoryKind::Uniform => "uniform",
             TrajectoryKind::RankSlowdown { .. } => "fault",
         }
     }
@@ -174,6 +180,7 @@ impl LoadModel {
                     })
                     .collect()
             }
+            TrajectoryKind::Uniform => vec![1.0; self.centers.len()],
             TrajectoryKind::RankSlowdown {
                 rank,
                 factor,
@@ -217,11 +224,21 @@ mod tests {
 
     #[test]
     fn named_trajectories_round_trip() {
-        for name in ["amr", "diurnal", "fault"] {
+        for name in ["amr", "diurnal", "fault", "uniform"] {
             let t = TrajectoryKind::named(name, 50).unwrap();
             assert_eq!(t.label(), name);
         }
         assert!(TrajectoryKind::named("storm", 50).is_none());
+    }
+
+    #[test]
+    fn uniform_trajectory_is_flat_everywhere() {
+        let m = mesh();
+        let lm = LoadModel::from_mesh(&m, TrajectoryKind::Uniform);
+        let p = trivial_partition(m.num_elems());
+        for step in [0, 7, 100] {
+            assert!(lm.weights_at(step, &p).iter().all(|&w| w == 1.0));
+        }
     }
 
     #[test]

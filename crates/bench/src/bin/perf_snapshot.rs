@@ -28,7 +28,10 @@ fn main() -> ExitCode {
     let procs = divisor_procs(384, 384, 8);
     let rows = sweep(&mesh, &procs, &machine, &cost);
 
-    let snap = cubesfc_obs::snapshot();
+    // export_snapshot adds the observability layer's own health
+    // counters (obs/dropped_events, obs/dropped_samples), so the
+    // snapshot says when bounded buffers shed data.
+    let snap = cubesfc_obs::export_snapshot();
     eprint!("{}", snap.render_table());
     if let Err(e) = std::fs::write(&path, snap.to_json()) {
         eprintln!("error: failed to write {path}: {e}");

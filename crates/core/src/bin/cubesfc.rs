@@ -11,6 +11,7 @@
 //!                   [--policy threshold|periodic|costbenefit] [--method sfc|kway|...]
 //!                   [--every N] [--trigger LB] [--horizon N] [--json FILE]
 //! cubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]
+//! cubesfc telemetry report FILE.ndjson [--report-only]
 //! ```
 //!
 //! `rebalance` simulates a time-varying load (`--trajectory`) over
@@ -43,6 +44,15 @@
 //! time and counters) and exits nonzero when any span regresses past the
 //! threshold — unless `--report-only` is given.
 //!
+//! Any command also accepts `--telemetry` (live health summary on
+//! stderr at exit) or `--telemetry=FILE` (additionally stream the
+//! sampled time series as `cubesfc-telemetry-v1` NDJSON to `FILE`). The
+//! `CUBESFC_TELEMETRY` environment variable is the equivalent: empty or
+//! `0` disables, `1`/`true` print the summary, any other value is
+//! treated as the NDJSON path; the flag wins. `telemetry report FILE`
+//! replays a recorded stream into the same summary and exits 1 if any
+//! alert fired (use `--report-only` to keep exit 0).
+//!
 //! The assignment output format is one line per element: `elem part`.
 
 use cubesfc::report::PartitionReport;
@@ -61,6 +71,10 @@ struct Args {
     ascii: bool,
     profile: bool,
     trace: Option<String>,
+    /// `--telemetry` (summary only).
+    telemetry: bool,
+    /// `--telemetry=PATH` (NDJSON stream + summary).
+    telemetry_path: Option<String>,
     /// Positional operands (the two snapshot paths for `compare`).
     paths: Vec<String>,
     threshold: Option<f64>,
@@ -95,18 +109,28 @@ struct ProfileSink {
     json_path: Option<String>,
 }
 
+/// Where the telemetry stream goes when the command finishes (the
+/// summary always goes to stderr when telemetry is on).
+struct TelemetrySink {
+    /// Write the NDJSON stream here.
+    ndjson_path: Option<String>,
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cubesfc <partition|report|render|info> --ne N [--nproc P]\n\
          \t[--method sfc|kway|tv|rb|morton|rcb] [--output FILE] [--seed N] [--ascii]\n\
          \t[--profile]  (or CUBESFC_PROFILE=1 | CUBESFC_PROFILE=json:FILE)\n\
          \t[--trace FILE]  (or CUBESFC_TRACE=FILE)\n\
+         \t[--telemetry | --telemetry=FILE.ndjson]  (or CUBESFC_TELEMETRY=1|FILE)\n\
          \tcubesfc experiment [--ne N] [--max-points M] [--jobs N] [--serial]\n\
          \t  (CUBESFC_JOBS=N sets the pool size when --jobs is absent)\n\
-         \tcubesfc rebalance --ne N --nproc P [--steps S] [--trajectory amr|diurnal|fault]\n\
+         \tcubesfc rebalance --ne N --nproc P [--steps S]\n\
+         \t  [--trajectory amr|diurnal|fault|uniform]\n\
          \t  [--policy threshold|periodic|costbenefit] [--method sfc|kway|tv|rb]\n\
          \t  [--every N] [--trigger LB] [--horizon N] [--json FILE] [--seed N]\n\
          \tcubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]\n\
+         \tcubesfc telemetry report FILE.ndjson [--report-only]\n\
          \tcubesfc --version"
     );
     ExitCode::from(2)
@@ -125,6 +149,8 @@ fn parse_args() -> Result<Args, String> {
         ascii: false,
         profile: false,
         trace: None,
+        telemetry: false,
+        telemetry_path: None,
         paths: Vec::new(),
         threshold: None,
         report_only: false,
@@ -177,6 +203,7 @@ fn parse_args() -> Result<Args, String> {
             "--output" => args.output = Some(it.next().ok_or("--output needs a value")?),
             "--ascii" => args.ascii = true,
             "--profile" => args.profile = true,
+            "--telemetry" => args.telemetry = true,
             "--trace" => {
                 let p = it.next().ok_or("--trace needs a value")?;
                 if p.is_empty() {
@@ -260,22 +287,37 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--horizon: {e}"))?,
                 )
             }
+            other if other.starts_with("--telemetry=") => {
+                let p = &other["--telemetry=".len()..];
+                if p.is_empty() {
+                    return Err("--telemetry= needs a non-empty path".into());
+                }
+                args.telemetry_path = Some(p.to_string());
+            }
             other if !other.starts_with('-') => args.paths.push(other.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    if args.command == "compare" {
-        if args.paths.len() != 2 {
-            return Err("compare needs exactly two snapshot paths: OLD.json NEW.json".into());
+    match args.command.as_str() {
+        "compare" => {
+            if args.paths.len() != 2 {
+                return Err("compare needs exactly two snapshot paths: OLD.json NEW.json".into());
+            }
         }
-    } else {
-        if let Some(stray) = args.paths.first() {
-            return Err(format!("unexpected argument '{stray}'"));
+        "telemetry" => {
+            if args.paths.len() != 2 || args.paths[0] != "report" {
+                return Err("telemetry needs a subcommand: telemetry report FILE.ndjson".into());
+            }
         }
-        // `experiment` defaults to the whole Table-1 grid when no
-        // resolution is named; every other command needs one.
-        if args.ne == 0 && args.command != "experiment" {
-            return Err("--ne is required".into());
+        _ => {
+            if let Some(stray) = args.paths.first() {
+                return Err(format!("unexpected argument '{stray}'"));
+            }
+            // `experiment` defaults to the whole Table-1 grid when no
+            // resolution is named; every other command needs one.
+            if args.ne == 0 && args.command != "experiment" {
+                return Err("--ne is required".into());
+            }
         }
     }
     Ok(args)
@@ -334,14 +376,49 @@ fn trace_sink(flag: &Option<String>) -> Option<String> {
     }
 }
 
+/// Combine `--telemetry[=PATH]` and `CUBESFC_TELEMETRY` into one sink
+/// (or none). The flags win over the environment; in the environment,
+/// empty or `0` disables, `1`/`true` enable the summary only, and any
+/// other value is the NDJSON path.
+fn telemetry_sink(args: &Args) -> Option<TelemetrySink> {
+    if args.telemetry_path.is_some() {
+        return Some(TelemetrySink {
+            ndjson_path: args.telemetry_path.clone(),
+        });
+    }
+    if args.telemetry {
+        return Some(TelemetrySink { ndjson_path: None });
+    }
+    match std::env::var("CUBESFC_TELEMETRY")
+        .unwrap_or_default()
+        .as_str()
+    {
+        "" | "0" => None,
+        "1" | "true" => Some(TelemetrySink { ndjson_path: None }),
+        path => Some(TelemetrySink {
+            ndjson_path: Some(path.to_string()),
+        }),
+    }
+}
+
 fn write_profile(sink: &ProfileSink) -> Result<(), String> {
-    let snap = cubesfc_obs::snapshot();
+    let snap = cubesfc_obs::export_snapshot();
     if sink.table {
         eprint!("{}", snap.render_table());
     }
     if let Some(path) = &sink.json_path {
         std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
+    Ok(())
+}
+
+/// Export the telemetry stream and print its health summary.
+fn write_telemetry(sink: &TelemetrySink) -> Result<(), String> {
+    if let Some(path) = &sink.ndjson_path {
+        std::fs::write(path, cubesfc_obs::telemetry().export_ndjson())
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprint!("{}", cubesfc_obs::telemetry().render_summary());
     Ok(())
 }
 
@@ -376,9 +453,28 @@ fn run_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Replay a recorded `cubesfc-telemetry-v1` NDJSON stream into the
+/// terminal summary; `Err` (exit 1) when any alert fired, unless
+/// `--report-only` was given.
+fn run_telemetry_report(args: &Args) -> Result<(), String> {
+    let path = &args.paths[1];
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let samples = cubesfc_obs::parse_telemetry(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut bank = cubesfc_obs::SeriesBank::new(samples.len().max(1));
+    for s in &samples {
+        bank.ingest(s);
+    }
+    print!("{}", bank.render(0));
+    let fired = bank.total_alerts();
+    if fired > 0 && !args.report_only {
+        return Err(format!("{fired} alert(s) fired in {path}"));
+    }
+    Ok(())
+}
+
 /// Run a short parallel advection solve over the computed partition so
 /// the trace shows one timeline lane per virtual rank (plus the shared
-/// DSS lane). Only invoked when tracing is enabled.
+/// DSS lane). Only invoked when tracing or telemetry is enabled.
 fn trace_mini_solve(mesh: &CubedSphere, part: &cubesfc::Partition) {
     use cubesfc::seam::solver::AdvectionConfig;
     use cubesfc::seam::{gaussian_blob, run_parallel};
@@ -454,7 +550,7 @@ fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
         return Err("--nproc is required".into());
     }
     let kind = TrajectoryKind::named(&args.trajectory, args.steps).ok_or(format!(
-        "unknown trajectory '{}' (expected amr, diurnal, or fault)",
+        "unknown trajectory '{}' (expected amr, diurnal, fault, or uniform)",
         args.trajectory
     ))?;
     let mut policy = RebalancePolicy::named(&args.policy).ok_or(format!(
@@ -529,6 +625,9 @@ fn run(args: Args) -> Result<(), String> {
     if args.command == "compare" {
         return run_compare(&args);
     }
+    if args.command == "telemetry" {
+        return run_telemetry_report(&args);
+    }
     if args.command == "experiment" {
         return run_experiment(&args);
     }
@@ -565,7 +664,7 @@ fn run(args: Args) -> Result<(), String> {
                 return Err("--nproc is required".into());
             }
             let p = partition(&mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
-            if cubesfc_obs::trace_enabled() {
+            if cubesfc_obs::trace_enabled() || cubesfc_obs::telemetry_enabled() {
                 trace_mini_solve(&mesh, &p);
             }
             let mut out = String::new();
@@ -628,11 +727,18 @@ fn main() -> ExitCode {
                 }
             };
             let trace_path = trace_sink(&args.trace);
+            let telem = telemetry_sink(&args);
             if sink.is_some() {
                 cubesfc_obs::set_enabled(true);
             }
             if trace_path.is_some() {
                 cubesfc_obs::set_trace_enabled(true);
+            }
+            if telem.is_some() {
+                cubesfc_obs::set_telemetry_enabled(true);
+                // Samples carry counter deltas and histogram quantiles,
+                // so telemetry implies the metrics registry.
+                cubesfc_obs::set_enabled(true);
             }
             let result = run(args);
             if let Some(sink) = &sink {
@@ -645,6 +751,12 @@ fn main() -> ExitCode {
                 let json = cubesfc_obs::tracer().export_chrome();
                 if let Err(e) = std::fs::write(path, json) {
                     eprintln!("error: trace export failed: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(telem) = &telem {
+                if let Err(e) = write_telemetry(telem) {
+                    eprintln!("error: telemetry export failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

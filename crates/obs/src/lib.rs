@@ -33,17 +33,23 @@ mod chrome;
 mod clock;
 mod compare;
 mod events;
+mod health;
 mod json;
 mod render;
+mod series;
 mod snapshot;
+mod telemetry;
 mod value;
 
 pub use chrome::TRACE_SCHEMA;
 pub use clock::{Clock, MockClock, MonotonicClock};
 pub use compare::{compare_profiles, CompareConfig, CompareReport, Delta, DeltaStatus};
 pub use events::{EventKind, Lane, LaneSpan, TraceEvent, Tracer};
+pub use health::{default_rules, straggler_z, AlertEngine, AlertRule};
 pub use json::{escape as json_escape, SCHEMA};
+pub use series::Series;
 pub use snapshot::{Bucket, HistogramSnapshot, Snapshot, SpanStat};
+pub use telemetry::{parse_telemetry, Sampler, SeriesBank, TelemetrySample, TELEMETRY_SCHEMA};
 pub use value::{parse as json_parse, JsonValue};
 
 use snapshot::{bucket_index, bucket_range, HIST_BUCKETS};
@@ -329,12 +335,14 @@ impl Drop for SpanGuard {
 
 /// Bit flags for the *global* instrumentation features, checked with a
 /// single relaxed load on every instrumentation call. Bit 0 gates the
-/// metrics registry, bit 1 the event-timeline tracer — one load answers
-/// both questions, so a call site never pays more than one atomic read.
+/// metrics registry, bit 1 the event-timeline tracer, bit 2 the
+/// telemetry sampler — one load answers every question, so a call site
+/// never pays more than one atomic read.
 static FLAGS: AtomicU8 = AtomicU8::new(0);
 
 const FLAG_METRICS: u8 = 1;
 const FLAG_TRACE: u8 = 1 << 1;
+const FLAG_TELEMETRY: u8 = 1 << 2;
 
 fn set_flag(bit: u8, on: bool) {
     if on {
@@ -452,6 +460,53 @@ pub fn snapshot() -> Snapshot {
 /// Clear the global registry.
 pub fn reset() {
     global().reset();
+}
+
+/// The process-wide telemetry sampler used by instrumented library
+/// code: real clock, the global registry, default window capacity.
+pub fn telemetry() -> &'static Sampler {
+    static GLOBAL: OnceLock<Sampler> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        Sampler::with_clock_and_capacity(
+            Arc::new(MonotonicClock::new()),
+            global().clone(),
+            telemetry::DEFAULT_SAMPLE_CAPACITY,
+        )
+    })
+}
+
+/// Turn global telemetry sampling on or off.
+pub fn set_telemetry_enabled(on: bool) {
+    set_flag(FLAG_TELEMETRY, on);
+}
+
+/// Is global telemetry sampling currently on?
+pub fn telemetry_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_TELEMETRY != 0
+}
+
+/// Record one sample on the global sampler's `lane` at `step`; a single
+/// relaxed load and no allocation when telemetry is disabled.
+#[inline]
+pub fn telemetry_record(lane: &str, step: u64, gauges: &[(&str, f64)], ranks: &[f64]) {
+    if FLAGS.load(Ordering::Relaxed) & FLAG_TELEMETRY == 0 {
+        return;
+    }
+    telemetry().record(lane, step, gauges, ranks);
+}
+
+/// [`snapshot`] plus the observability layer's own health counters
+/// (`obs/dropped_events`, `obs/dropped_samples`), so profile exports
+/// say when the bounded buffers were forced to shed data.
+pub fn export_snapshot() -> Snapshot {
+    let mut snap = snapshot();
+    snap.counters
+        .insert("obs/dropped_events".to_string(), tracer().dropped_events());
+    snap.counters.insert(
+        "obs/dropped_samples".to_string(),
+        telemetry().dropped_samples(),
+    );
+    snap
 }
 
 // ---------------------------------------------------------------------------

@@ -107,6 +107,83 @@ impl Snapshot {
     }
 }
 
+/// Render `values` as a fixed-width Unicode sparkline (`▁▂▃▄▅▆▇█`).
+///
+/// The series is resampled to at most `width` columns (averaging each
+/// column's bucket) and scaled to `[min, max]` over the *whole* series,
+/// so rows rendered with a shared scale stay comparable. Non-finite
+/// values render as spaces. Empty input gives an empty string.
+pub(crate) fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let cols = width.min(values.len());
+    let mut out = String::with_capacity(cols * 3);
+    for c in 0..cols {
+        // Column c covers values[c*n/cols .. (c+1)*n/cols).
+        let a = c * values.len() / cols;
+        let b = ((c + 1) * values.len() / cols).max(a + 1);
+        let slice: Vec<f64> = values[a..b]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        if slice.is_empty() {
+            out.push(' ');
+            continue;
+        }
+        let v = slice.iter().sum::<f64>() / slice.len() as f64;
+        let t = if max > min {
+            (v - min) / (max - min)
+        } else {
+            0.0
+        };
+        let idx = ((t * 7.0).round() as usize).min(7);
+        out.push(BARS[idx]);
+    }
+    out
+}
+
+/// [`sparkline`] with an explicit `[min, max]` scale, for rendering a
+/// group of rows (e.g. one per rank) on one shared scale.
+pub(crate) fn sparkline_scaled(values: &[f64], width: usize, min: f64, max: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cols = width.min(values.len());
+    let mut out = String::with_capacity(cols * 3);
+    for c in 0..cols {
+        let a = c * values.len() / cols;
+        let b = ((c + 1) * values.len() / cols).max(a + 1);
+        let slice: Vec<f64> = values[a..b]
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        if slice.is_empty() {
+            out.push(' ');
+            continue;
+        }
+        let v = slice.iter().sum::<f64>() / slice.len() as f64;
+        let t = if max > min {
+            ((v - min) / (max - min)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let idx = ((t * 7.0).round() as usize).min(7);
+        out.push(BARS[idx]);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +195,29 @@ mod tests {
             s.record(total / count);
         }
         s
+    }
+
+    #[test]
+    fn sparkline_spans_the_bar_alphabet() {
+        let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&ramp, 8), "▁▂▃▄▅▆▇█");
+        // Constant series renders flat at the bottom.
+        assert_eq!(sparkline(&[5.0; 4], 4), "▁▁▁▁");
+        // Longer series downsample to the requested width.
+        let long: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&long, 10).chars().count(), 10);
+        // Degenerate inputs are quiet.
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        assert_eq!(sparkline(&[f64::NAN, 1.0], 2), " ▁");
+    }
+
+    #[test]
+    fn shared_scale_keeps_rows_comparable() {
+        // On a shared [0, 8] scale a flat 1.0 row sits low while a flat
+        // 8.0 row sits at the top — the straggler is visible at a glance.
+        assert_eq!(sparkline_scaled(&[1.0; 4], 4, 0.0, 8.0), "▂▂▂▂");
+        assert_eq!(sparkline_scaled(&[8.0; 4], 4, 0.0, 8.0), "████");
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Bounded, delta-encoded time series for the telemetry sampler.
+//!
+//! Two layers:
+//!
+//! * [`Ring<T>`] — a fixed-capacity FIFO that *never grows*: pushing
+//!   into a full ring evicts the oldest entry (returned to the caller so
+//!   it can be folded into a base accumulator) and increments an exact
+//!   `dropped` counter. This is the same drop-with-exact-count contract
+//!   the event ring gives `dropped_events`, applied to samples.
+//! * [`Series`] — one metric's history as `(seq, value)` points, stored
+//!   delta-encoded: each slot keeps the difference from the previous
+//!   point, and a `base` value absorbs everything that has been evicted,
+//!   so reconstruction ([`Series::points`]) and the running
+//!   [`Series::last`] stay exact no matter how many samples the window
+//!   dropped.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO with an exact count of evicted entries.
+#[derive(Clone, Debug)]
+pub(crate) struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` entries (at least 1).
+    pub(crate) fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append `item`; when full, the oldest entry is evicted, counted,
+    /// and handed back so the caller can fold it into its base state.
+    pub(crate) fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.dropped += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Entries oldest-first.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Exact number of entries evicted since creation (or last clear).
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+/// One retained point of a [`Series`]: the sample sequence number and
+/// the *delta* of the value against the previous retained point (the
+/// oldest retained point's delta is against [`Series`]'s `base`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct DeltaPoint {
+    seq: u64,
+    delta: f64,
+}
+
+/// One metric's bounded, delta-encoded history.
+#[derive(Clone, Debug)]
+pub struct Series {
+    ring: Ring<DeltaPoint>,
+    /// Value just before the oldest retained point: 0 for a fresh
+    /// series, then the sum of every evicted delta.
+    base: f64,
+    /// Last absolute value pushed (so the next delta is exact without
+    /// re-walking the window).
+    last: f64,
+}
+
+impl Series {
+    /// A series retaining at most `capacity` points.
+    pub fn new(capacity: usize) -> Series {
+        Series {
+            ring: Ring::new(capacity),
+            base: 0.0,
+            last: 0.0,
+        }
+    }
+
+    /// Record the absolute `value` observed at sample `seq`. Stored as a
+    /// delta against the previous push; evicting an old point folds its
+    /// delta into `base`, so nothing about the surviving window shifts.
+    pub fn push(&mut self, seq: u64, value: f64) {
+        let delta = value - self.last;
+        self.last = value;
+        if let Some(evicted) = self.ring.push(DeltaPoint { seq, delta }) {
+            self.base += evicted.delta;
+        }
+    }
+
+    /// Reconstruct the retained window as absolute `(seq, value)` points,
+    /// oldest first.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        let mut acc = self.base;
+        self.ring
+            .iter()
+            .map(|p| {
+                acc += p.delta;
+                (p.seq, acc)
+            })
+            .collect()
+    }
+
+    /// Just the values of [`Series::points`] (sparkline input).
+    pub fn values(&self) -> Vec<f64> {
+        self.points().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// The most recent absolute value (0.0 before any push).
+    pub fn last(&self) -> f64 {
+        self.last
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Exact number of points evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_push_under_capacity_drops_nothing() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            assert!(r.push(i).is_none());
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_wraparound_counts_every_eviction_exactly() {
+        let mut r = Ring::new(3);
+        let mut evicted = Vec::new();
+        for i in 0..10 {
+            if let Some(e) = r.push(i) {
+                evicted.push(e);
+            }
+        }
+        // 10 pushes into capacity 3: exactly 7 evictions, oldest-first.
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(evicted, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        r.clear();
+        assert_eq!(r.dropped(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = Ring::new(0);
+        assert!(r.push(1).is_none());
+        assert_eq!(r.push(2), Some(1));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn series_reconstructs_absolute_values() {
+        let mut s = Series::new(8);
+        for (seq, v) in [(0u64, 2.0), (1, 5.0), (2, 5.0), (3, 1.0)] {
+            s.push(seq, v);
+        }
+        assert_eq!(
+            s.points(),
+            vec![(0, 2.0), (1, 5.0), (2, 5.0), (3, 1.0)],
+            "delta decode must be exact"
+        );
+        assert_eq!(s.last(), 1.0);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn series_wraparound_folds_evicted_deltas_into_base() {
+        let mut s = Series::new(3);
+        // Exactly representable values: delta encode/decode is lossless.
+        let values = [4.0, 8.0, 2.0, 16.0, 1.0, 32.0];
+        for (seq, &v) in values.iter().enumerate() {
+            s.push(seq as u64, v);
+        }
+        assert_eq!(s.dropped(), 3);
+        // The window shows the last 3 values, absolute and exact, even
+        // though their deltas chain through evicted points.
+        assert_eq!(s.points(), vec![(3, 16.0), (4, 1.0), (5, 32.0)]);
+        assert_eq!(s.values(), vec![16.0, 1.0, 32.0]);
+        assert_eq!(s.last(), 32.0);
+    }
+
+    #[test]
+    fn series_monotonic_counter_window_is_exact() {
+        // The counter-delta use case: cumulative totals sampled each
+        // step; after heavy wraparound the retained window still decodes
+        // to the true cumulative values.
+        let mut s = Series::new(4);
+        let mut total = 0.0;
+        for seq in 0..100u64 {
+            total += (seq % 7) as f64;
+            s.push(seq, total);
+        }
+        assert_eq!(s.dropped(), 96);
+        let pts = s.points();
+        assert_eq!(pts.len(), 4);
+        let mut expect = 0.0;
+        let mut expected_points = Vec::new();
+        for seq in 0..100u64 {
+            expect += (seq % 7) as f64;
+            if seq >= 96 {
+                expected_points.push((seq, expect));
+            }
+        }
+        assert_eq!(pts, expected_points);
+    }
+}

@@ -36,6 +36,11 @@ static ALLOC: CountingAlloc = CountingAlloc;
 fn disabled_instrumentation_is_allocation_free_and_records_nothing() {
     cubesfc_obs::set_enabled(false);
     cubesfc_obs::set_trace_enabled(false);
+    cubesfc_obs::set_telemetry_enabled(false);
+
+    // Pre-built outside the loop: the *call* must be free, the
+    // caller's arguments may live wherever they like.
+    let ranks = [1.0f64, 2.0, 3.0, 4.0];
 
     let before = ALLOCATIONS.load(Ordering::SeqCst);
     for i in 0..1000u64 {
@@ -48,6 +53,12 @@ fn disabled_instrumentation_is_allocation_free_and_records_nothing() {
         lane.end();
         cubesfc_obs::trace_instant("exchange", &[("seq", i)]);
         let _slice = lane.span("scatter");
+        cubesfc_obs::telemetry_record(
+            "rebalance",
+            i,
+            &[("lb_measured", 0.1), ("migration_fraction", 0.0)],
+            &ranks,
+        );
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
@@ -57,8 +68,11 @@ fn disabled_instrumentation_is_allocation_free_and_records_nothing() {
     );
 
     // Nothing was recorded anywhere: the ring buffer is empty, no events
-    // were dropped (they were never offered), and the registry is empty.
+    // were dropped (they were never offered), the registry is empty, and
+    // the telemetry sampler saw no samples.
     assert_eq!(cubesfc_obs::tracer().event_count(), 0);
     assert_eq!(cubesfc_obs::tracer().dropped_events(), 0);
     assert!(cubesfc_obs::snapshot().is_empty());
+    assert_eq!(cubesfc_obs::telemetry().sample_count(), 0);
+    assert_eq!(cubesfc_obs::telemetry().dropped_samples(), 0);
 }

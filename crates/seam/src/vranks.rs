@@ -211,6 +211,16 @@ where
         steps,
     };
     stats.record_histograms();
+    cubesfc_obs::telemetry_record(
+        "solver",
+        steps as u64,
+        &[
+            ("lb_compute", stats.lb_compute()),
+            ("lb_comm", stats.lb_comm()),
+            ("wall_seconds", stats.wall_seconds),
+        ],
+        &stats.per_rank_compute,
+    );
     (global, stats)
 }
 

@@ -614,3 +614,192 @@ fn rebalance_trace_has_one_lane_per_phase() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn rebalance_telemetry_stream_matches_json_report_and_is_deterministic() {
+    use cubesfc::obs::{parse_telemetry, JsonValue};
+    let dir = tmpdir("telemetry-stream");
+    let json_path = dir.join("report.json");
+    let run = |nd: &std::path::Path| {
+        let out = cli()
+            .args(["rebalance", "--ne", "4", "--nproc", "8", "--steps", "5"])
+            .args([
+                "--trajectory",
+                "amr",
+                "--policy",
+                "periodic",
+                "--every",
+                "1",
+            ])
+            .args(["--seed", "42", "--json", json_path.to_str().unwrap()])
+            .arg(format!("--telemetry={}", nd.display()))
+            .env_remove("CUBESFC_TELEMETRY")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The live run also prints the terminal summary to stderr.
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("telemetry:"), "{err}");
+    };
+    let a = dir.join("a.ndjson");
+    let b = dir.join("b.ndjson");
+    run(&a);
+    run(&b);
+    // Byte-identical streams at a fixed seed: no wall-clock on the wire.
+    assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+
+    let samples = parse_telemetry(&std::fs::read_to_string(&a).unwrap()).unwrap();
+    let lane: Vec<_> = samples.iter().filter(|s| s.lane == "rebalance").collect();
+    assert_eq!(lane.len(), 5);
+
+    // Per-step gauges agree exactly with the JSON report records.
+    let doc = cubesfc::obs::json_parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    let records = doc.get("records").and_then(JsonValue::as_arr).unwrap();
+    assert_eq!(records.len(), 5);
+    for (rec, s) in records.iter().zip(&lane) {
+        assert_eq!(rec.get("step").and_then(JsonValue::as_u64), Some(s.step));
+        assert_eq!(
+            rec.get("lb_measured").and_then(JsonValue::as_f64),
+            Some(s.gauges["lb_measured"])
+        );
+        assert_eq!(
+            rec.get("migration_fraction").and_then(JsonValue::as_f64),
+            Some(s.gauges["migration_fraction"])
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_report_exit_codes_track_alerts() {
+    let dir = tmpdir("telemetry-report");
+    let run_traj = |traj: &str, nd: &std::path::Path| {
+        let out = cli()
+            .args(["rebalance", "--ne", "8", "--nproc", "16", "--steps", "50"])
+            .args(["--trajectory", traj, "--policy", "threshold"])
+            .arg(format!("--telemetry={}", nd.display()))
+            .env_remove("CUBESFC_TELEMETRY")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{traj}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let fault = dir.join("fault.ndjson");
+    let uniform = dir.join("uniform.ndjson");
+    run_traj("fault", &fault);
+    run_traj("uniform", &uniform);
+
+    // The degraded rank trips the straggler rule: replay exits 1.
+    let out = cli()
+        .args(["telemetry", "report", fault.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("straggler"), "{text}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("alert(s) fired"), "{err}");
+
+    // --report-only: same rendering, advisory exit 0.
+    let out = cli()
+        .args([
+            "telemetry",
+            "report",
+            fault.to_str().unwrap(),
+            "--report-only",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // The uniform control run is alert-free: exit 0.
+    let out = cli()
+        .args(["telemetry", "report", uniform.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("alerts: none fired"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn telemetry_usage_errors_exit_2_and_missing_file_exits_1() {
+    for argv in [
+        vec!["telemetry"],
+        vec!["telemetry", "report"],
+        vec!["telemetry", "bogus", "x.ndjson"],
+        vec!["partition", "--ne", "2", "--nproc", "4", "--telemetry="],
+    ] {
+        let out = cli().args(&argv).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{argv:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("usage:"), "{argv:?}: {err}");
+    }
+    // A missing replay file is a runtime error, not a usage error.
+    let out = cli()
+        .args(["telemetry", "report", "/nonexistent/telemetry.ndjson"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn telemetry_env_and_bare_flag_work_without_a_stream_file() {
+    // Bare --telemetry: terminal summary on stderr, nothing else.
+    let out = cli()
+        .args(["partition", "--ne", "2", "--nproc", "4", "--telemetry"])
+        .env_remove("CUBESFC_TELEMETRY")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("telemetry:"), "{err}");
+    // The mini-solve feeds the solver lane, so its gauges show up.
+    assert!(err.contains("solver/"), "{err}");
+
+    // CUBESFC_TELEMETRY=PATH streams NDJSON without any flag.
+    let dir = tmpdir("telemetry-env");
+    let path = dir.join("env.ndjson");
+    let out = cli()
+        .args(["partition", "--ne", "2", "--nproc", "4"])
+        .env("CUBESFC_TELEMETRY", path.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("cubesfc-telemetry-v1"), "{text}");
+    assert!(!cubesfc::obs::parse_telemetry(&text).unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_json_reports_observability_drop_counters() {
+    let dir = tmpdir("prof-drops");
+    let path = dir.join("profile.json");
+    let out = cli()
+        .args(["partition", "--ne", "4", "--nproc", "8"])
+        .env("CUBESFC_PROFILE", format!("json:{}", path.display()))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).unwrap();
+    // The snapshot carries the observability layer's own health
+    // counters, so shed ring-buffer data is visible after the fact.
+    for key in ["\"obs/dropped_events\":", "\"obs/dropped_samples\":"] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,8 +11,9 @@ use crate::planner::MigrationPlan;
 use crate::policy::{migration_seconds, PolicyEngine, PolicyInput, RebalancePolicy};
 use crate::rebalance::Repartitioner;
 use crate::trajectory::{begin_phase, LoadModel};
+use cubesfc_graph::metrics::part_exchange_points;
 use cubesfc_graph::{load_balance_f64, part_loads, CsrGraph, Partition};
-use cubesfc_seam::{evaluate_weighted, CostModel, MachineModel};
+use cubesfc_seam::{evaluate_weighted, CostModel, MachineModel, PerfReport};
 use std::fmt::Write as _;
 
 /// Schema tag of the JSON report.
@@ -278,6 +279,7 @@ pub fn run_rebalance(
     let mut engine = PolicyEngine::new(policy);
     let mut current = initial;
     let mut records = Vec::with_capacity(config.steps);
+    let mut timeline = TimelineEmitter::new(config.nproc);
 
     for step in 0..config.steps {
         let weights = model.weights_at(step, &current);
@@ -338,9 +340,11 @@ pub fn run_rebalance(
         }
 
         engine.observe(record.lb_after);
-        record.step_time =
-            evaluate_weighted(graph, &current, &weights, &config.machine, &config.cost)
-                .time_per_step;
+        let perf = evaluate_weighted(graph, &current, &weights, &config.machine, &config.cost);
+        record.step_time = perf.time_per_step;
+        if let Some(tl) = timeline.as_mut() {
+            tl.record_step(step, &perf, graph, &current, &config.cost);
+        }
         cubesfc_obs::histogram_record("rebalance.lb_permille", (record.lb_after * 1000.0) as u64);
         cubesfc_obs::telemetry_record(
             "rebalance",
@@ -367,6 +371,87 @@ pub fn run_rebalance(
         records,
         final_partition: current,
     })
+}
+
+/// Writes the modelled per-rank timeline onto the event tracer when
+/// `--trace` is on: one `rank <r>` lane per processor plus a `steps`
+/// lane delimiting each timestep, laid out on a synthetic nanosecond
+/// axis built from the perf model's per-rank seconds. The time axis is
+/// a pure function of the simulated run (no wall clock), so a fixed
+/// seed produces a byte-identical trace — and a byte-identical
+/// `trace analyze` document replayed from it. Slice names follow the
+/// analyzer's vocabulary: `compute` (with the partition's `elements`
+/// count), `pack` (modelled exchange, with `bytes`/`messages`), and
+/// `wait` (slack to the step barrier).
+struct TimelineEmitter {
+    ranks: Vec<cubesfc_obs::Lane>,
+    steps: cubesfc_obs::Lane,
+    cursor_ns: u64,
+}
+
+impl TimelineEmitter {
+    fn new(nproc: usize) -> Option<TimelineEmitter> {
+        if !cubesfc_obs::trace_enabled() {
+            return None;
+        }
+        Some(TimelineEmitter {
+            ranks: (0..nproc)
+                .map(|r| cubesfc_obs::trace_lane(&format!("rank {r}")))
+                .collect(),
+            steps: cubesfc_obs::trace_lane("steps"),
+            cursor_ns: 0,
+        })
+    }
+
+    fn record_step(
+        &mut self,
+        step: usize,
+        perf: &PerfReport,
+        graph: &CsrGraph,
+        partition: &Partition,
+        cost: &CostModel,
+    ) {
+        // Modelled exchange volume per rank: the same aggregation the
+        // perf model prices (one message per neighbour rank per stage).
+        let bpps = cost.bytes_per_point_per_stage();
+        let stages = cost.stages as u64;
+        let mut bytes = vec![0u64; self.ranks.len()];
+        let mut messages = vec![0u64; self.ranks.len()];
+        for (from, _to, points) in part_exchange_points(graph, partition) {
+            bytes[from as usize] += (points as f64 * bpps) as u64 * stages;
+            messages[from as usize] += stages;
+        }
+        // Work in integer nanoseconds throughout so the barrier (the
+        // max over ranks) is exactly consistent with the per-rank slice
+        // ends — no float rounding can invert a wait slice.
+        let ns = |s: f64| (s.max(0.0) * 1e9).round() as u64;
+        let durs: Vec<(u64, u64)> = (0..self.ranks.len())
+            .map(|r| (ns(perf.per_rank_compute[r]), ns(perf.per_rank_comm[r])))
+            .collect();
+        let step_ns = durs.iter().map(|&(c, p)| c + p).max().unwrap_or(0).max(1);
+        let start = self.cursor_ns;
+        for (r, lane) in self.ranks.iter().enumerate() {
+            let (compute_ns, pack_ns) = durs[r];
+            let c_end = start + compute_ns;
+            let p_end = c_end + pack_ns;
+            lane.slice_at(
+                "compute",
+                start,
+                c_end,
+                &[("elements", perf.stats.nelemd[r])],
+            );
+            lane.slice_at(
+                "pack",
+                c_end,
+                p_end,
+                &[("bytes", bytes[r]), ("messages", messages[r])],
+            );
+            lane.slice_at("wait", p_end, start + step_ns, &[]);
+        }
+        self.steps
+            .slice_at("step", start, start + step_ns, &[("step", step as u64)]);
+        self.cursor_ns = start + step_ns;
+    }
 }
 
 /// Repartition + plan, each under its trace lane.

@@ -1,0 +1,100 @@
+//! `trace_analyze` — smoke-run the trace replay analyzer on a modelled
+//! rebalance timeline (`BENCH_analysis.json`).
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin trace_analyze [OUT.json]
+//! ```
+//!
+//! Records the seed-42 fault-trajectory rebalance (Ne = 8, 16 ranks,
+//! 10 steps, a periodic policy that never fires so the rank slowdown
+//! stays uncorrected), replays the resulting `cubesfc-trace-v1`
+//! timeline through the wait-state / critical-path analyzer, and
+//! writes the `cubesfc-analysis-v1` document to `OUT.json` (default
+//! `BENCH_analysis.json`). The analyzer is run twice and the two
+//! documents compared byte-for-byte, so this bin doubles as a
+//! determinism check on the whole trace → analysis path. The
+//! human-readable report goes to stderr.
+
+use cubesfc::balance::{
+    run_rebalance, IncrementalSfc, LoadModel, RebalancePolicy, Repartitioner, SimConfig,
+    TrajectoryKind,
+};
+use cubesfc::{partition, CostModel, MachineModel, MeshCache, PartitionMethod, PartitionOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_analysis.json".into());
+    match run(&path) {
+        Ok(lanes) => {
+            println!("(trace analysis over {lanes} lane(s) written to {path})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(path: &str) -> Result<usize, String> {
+    let steps = 10;
+    let nproc = 16;
+    cubesfc_obs::set_trace_enabled(true);
+
+    let cache = MeshCache::new();
+    let bundle = cache.bundle(8);
+    let kind = TrajectoryKind::named("fault", steps).expect("fault trajectory");
+    let model = LoadModel::from_mesh(&bundle.mesh, kind);
+    let config = SimConfig {
+        steps,
+        nproc,
+        machine: MachineModel::ncar_p690(),
+        cost: CostModel::seam_climate(),
+    };
+    let mut policy = RebalancePolicy::named("periodic").expect("periodic policy");
+    if let RebalancePolicy::Periodic { every } = &mut policy {
+        *every = 1000; // longer than the run: the fault stays in place
+    }
+    let mut opts = PartitionOptions::default();
+    opts.graph_config.seed = 42;
+    let initial =
+        partition(&bundle.mesh, PartitionMethod::Sfc, nproc, &opts).map_err(|e| e.to_string())?;
+    let mut backend: Box<dyn Repartitioner> = Box::new(IncrementalSfc::new(
+        bundle
+            .mesh
+            .curve_required()
+            .map_err(|e| e.to_string())?
+            .clone(),
+    ));
+    run_rebalance(
+        &bundle.graph,
+        &model,
+        backend.as_mut(),
+        policy,
+        initial,
+        &config,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let trace = cubesfc_obs::tracer().export_chrome();
+    cubesfc_obs::set_trace_enabled(false);
+
+    let (alpha_s, beta_bytes_per_s) = MachineModel::ncar_p690().alpha_beta();
+    let cfg = cubesfc_obs::AnalyzeConfig {
+        comm: cubesfc_obs::CommModel {
+            alpha_s,
+            beta_bytes_per_s,
+        },
+    };
+    let analysis = cubesfc_obs::analyze_trace(&trace, &cfg)?;
+    let again = cubesfc_obs::analyze_trace(&trace, &cfg)?;
+    let json = analysis.to_json();
+    if json != again.to_json() {
+        return Err("analysis JSON is not deterministic".into());
+    }
+    eprint!("{}", analysis.render());
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    Ok(analysis.lanes.len())
+}

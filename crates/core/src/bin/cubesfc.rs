@@ -12,6 +12,8 @@
 //!                   [--every N] [--trigger LB] [--horizon N] [--json FILE]
 //! cubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]
 //! cubesfc telemetry report FILE.ndjson [--report-only]
+//! cubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]
+//!                       [--threshold PCT] [--report-only]
 //! ```
 //!
 //! `rebalance` simulates a time-varying load (`--trajectory`) over
@@ -53,6 +55,20 @@
 //! replays a recorded stream into the same summary and exits 1 if any
 //! alert fired (use `--report-only` to keep exit 0).
 //!
+//! `trace analyze` replays a recorded `cubesfc-trace-v1` timeline into
+//! the wait-state decomposition, cross-rank critical path, and
+//! imbalance attribution. `--json PATH` writes the
+//! `cubesfc-analysis-v1` document; `--baseline OLD.json` diffs against
+//! a previous analysis and exits 1 when critical-path seconds or the
+//! wait fraction regress past `--threshold` (default 25%), unless
+//! `--report-only` is given.
+//!
+//! The replay commands (`compare`, `telemetry report`, `trace analyze`)
+//! share one exit-code contract: 0 clean, 1 for runtime failures
+//! (missing file, wrong schema, a tripped gate), 2 for input that is
+//! not JSON at all — reported with the parser's line/column diagnostic,
+//! never a panic.
+//!
 //! The assignment output format is one line per element: `elem part`.
 
 use cubesfc::report::PartitionReport;
@@ -79,6 +95,8 @@ struct Args {
     paths: Vec<String>,
     threshold: Option<f64>,
     report_only: bool,
+    /// Previous analysis JSON to gate against (`trace analyze`).
+    baseline: Option<String>,
     /// Worker pool size for `experiment` (None → `CUBESFC_JOBS` → auto).
     jobs: Option<usize>,
     /// Processor-count ladder points per resolution for `experiment`.
@@ -131,6 +149,8 @@ fn usage() -> ExitCode {
          \t  [--every N] [--trigger LB] [--horizon N] [--json FILE] [--seed N]\n\
          \tcubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]\n\
          \tcubesfc telemetry report FILE.ndjson [--report-only]\n\
+         \tcubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]\n\
+         \t  [--threshold PCT] [--report-only]\n\
          \tcubesfc --version"
     );
     ExitCode::from(2)
@@ -154,6 +174,7 @@ fn parse_args() -> Result<Args, String> {
         paths: Vec::new(),
         threshold: None,
         report_only: false,
+        baseline: None,
         jobs: None,
         max_points: 4,
         serial: false,
@@ -223,6 +244,7 @@ fn parse_args() -> Result<Args, String> {
                 args.threshold = Some(t);
             }
             "--report-only" => args.report_only = true,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a value")?),
             "--jobs" => {
                 args.jobs = Some(
                     it.next()
@@ -307,6 +329,11 @@ fn parse_args() -> Result<Args, String> {
         "telemetry" => {
             if args.paths.len() != 2 || args.paths[0] != "report" {
                 return Err("telemetry needs a subcommand: telemetry report FILE.ndjson".into());
+            }
+        }
+        "trace" => {
+            if args.paths.len() != 2 || args.paths[0] != "analyze" {
+                return Err("trace needs a subcommand: trace analyze FILE.json".into());
             }
         }
         _ => {
@@ -431,12 +458,37 @@ fn emit(path: &Option<String>, bytes: &[u8]) -> Result<(), String> {
     }
 }
 
+/// A replay-command failure, split by exit code. `Runtime` exits 1
+/// (missing file, wrong schema, a tripped regression gate); `Malformed`
+/// exits 2 with the parser's line/column diagnostic — input that is not
+/// JSON at all is a usage-class problem, like a mistyped flag.
+enum CliError {
+    Runtime(String),
+    Malformed(String),
+}
+
+impl From<String> for CliError {
+    fn from(e: String) -> CliError {
+        CliError::Runtime(e)
+    }
+}
+
+/// Read a replay input and syntax-check it. Unreadable files are
+/// runtime errors; text that is not JSON is malformed input. Returns
+/// the raw text and the parsed document.
+fn read_doc(path: &str) -> Result<(String, cubesfc_obs::JsonValue), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    let doc =
+        cubesfc_obs::json_parse(&text).map_err(|e| CliError::Malformed(format!("{path}: {e}")))?;
+    Ok((text, doc))
+}
+
 /// Diff two `cubesfc-profile-v1` snapshots; `Err` carries the regression
 /// verdict (runtime error, exit 1) unless `--report-only` was given.
-fn run_compare(args: &Args) -> Result<(), String> {
-    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
-    let old = read(&args.paths[0])?;
-    let new = read(&args.paths[1])?;
+fn run_compare(args: &Args) -> Result<(), CliError> {
+    let (old, _) = read_doc(&args.paths[0])?;
+    let (new, _) = read_doc(&args.paths[1])?;
     let mut cfg = cubesfc_obs::CompareConfig::default();
     if let Some(t) = args.threshold {
         cfg.threshold_pct = t;
@@ -448,7 +500,8 @@ fn run_compare(args: &Args) -> Result<(), String> {
         return Err(format!(
             "{n} regression(s) beyond {:.1}% threshold",
             cfg.threshold_pct
-        ));
+        )
+        .into());
     }
     Ok(())
 }
@@ -456,10 +509,24 @@ fn run_compare(args: &Args) -> Result<(), String> {
 /// Replay a recorded `cubesfc-telemetry-v1` NDJSON stream into the
 /// terminal summary; `Err` (exit 1) when any alert fired, unless
 /// `--report-only` was given.
-fn run_telemetry_report(args: &Args) -> Result<(), String> {
+fn run_telemetry_report(args: &Args) -> Result<(), CliError> {
     let path = &args.paths[1];
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let samples = cubesfc_obs::parse_telemetry(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    // Classify per line: broken JSON is malformed input (exit 2, with
+    // the parser's line/column position), a schema or shape violation
+    // in valid JSON is a runtime error (exit 1).
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = cubesfc_obs::json_parse(line)
+            .map_err(|e| CliError::Malformed(format!("{path}: line {}: {e}", i + 1)))?;
+        let sample = cubesfc_obs::TelemetrySample::from_json(&doc)
+            .map_err(|e| CliError::Runtime(format!("{path}: line {}: {e}", i + 1)))?;
+        samples.push(sample);
+    }
     let mut bank = cubesfc_obs::SeriesBank::new(samples.len().max(1));
     for s in &samples {
         bank.ingest(s);
@@ -467,7 +534,42 @@ fn run_telemetry_report(args: &Args) -> Result<(), String> {
     print!("{}", bank.render(0));
     let fired = bank.total_alerts();
     if fired > 0 && !args.report_only {
-        return Err(format!("{fired} alert(s) fired in {path}"));
+        return Err(format!("{fired} alert(s) fired in {path}").into());
+    }
+    Ok(())
+}
+
+/// Replay a `cubesfc-trace-v1` timeline into the wait-state
+/// decomposition, critical path, and imbalance attribution; with
+/// `--baseline`, `Err` (exit 1) when critical-path seconds or the wait
+/// fraction regressed past the threshold, unless `--report-only`.
+fn run_trace_analyze(args: &Args) -> Result<(), CliError> {
+    let path = &args.paths[1];
+    let (_, doc) = read_doc(path)?;
+    let (alpha_s, beta_bytes_per_s) = MachineModel::ncar_p690().alpha_beta();
+    let cfg = cubesfc_obs::AnalyzeConfig {
+        comm: cubesfc_obs::CommModel {
+            alpha_s,
+            beta_bytes_per_s,
+        },
+    };
+    let analysis = cubesfc_obs::analyze_doc(&doc, &cfg)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    print!("{}", analysis.render());
+    let json = analysis.to_json();
+    if let Some(out) = &args.json {
+        std::fs::write(out, &json).map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
+    }
+    if let Some(base) = &args.baseline {
+        let (old, _) = read_doc(base)?;
+        let threshold = args.threshold.unwrap_or(25.0);
+        let report = cubesfc_obs::compare_analyses(&old, &json, threshold)
+            .map_err(|e| CliError::Runtime(format!("{base}: {e}")))?;
+        print!("{}", report.render());
+        let n = report.regressions();
+        if n > 0 && !args.report_only {
+            return Err(format!("{n} regression(s) beyond {threshold:.1}% threshold").into());
+        }
     }
     Ok(())
 }
@@ -621,13 +723,20 @@ fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run(args: Args) -> Result<(), String> {
+fn run(args: Args) -> Result<(), CliError> {
     if args.command == "compare" {
         return run_compare(&args);
     }
     if args.command == "telemetry" {
         return run_telemetry_report(&args);
     }
+    if args.command == "trace" {
+        return run_trace_analyze(&args);
+    }
+    run_mesh_command(args).map_err(CliError::Runtime)
+}
+
+fn run_mesh_command(args: Args) -> Result<(), String> {
     if args.command == "experiment" {
         return run_experiment(&args);
     }
@@ -762,9 +871,13 @@ fn main() -> ExitCode {
             }
             match result {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
+                Err(CliError::Runtime(e)) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
+                }
+                Err(CliError::Malformed(e)) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
                 }
             }
         }

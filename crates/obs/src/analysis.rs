@@ -1,0 +1,1403 @@
+//! Trace replay & analysis: wait-state decomposition, cross-rank
+//! critical path, and imbalance attribution over `cubesfc-trace-v1`.
+//!
+//! The Chrome-trace exporter (`chrome.rs`) records *what happened*;
+//! this module explains *where the time went*. [`analyze_trace`]
+//! replays an exported trace document back into per-lane interval
+//! timelines — tolerating unbalanced begin/end pairs and drop-newest
+//! truncation — and computes the three things the paper's Eq.-(1)
+//! argument needs:
+//!
+//! 1. **Wait-state decomposition** — per-rank seconds spent in each
+//!    slice phase (`compute`/`pack`/`wait`/`scatter`, plus whatever
+//!    else the trace names). Phase buckets are accumulated in integer
+//!    nanoseconds over *all* slices, so their sum equals the summed raw
+//!    slice durations exactly — no float drift, no double counting.
+//! 2. **Cross-rank critical path** — the solver's step structure (a
+//!    `steps` lane, when present) cuts the run into segments; each
+//!    segment contributes its bottleneck rank's *productive* (top-level
+//!    non-`wait`) time, giving Σ_steps max_rank(work) with per-phase
+//!    contribution percentages and a *slowest-rank chain*: which ranks
+//!    were the bottleneck, charged with the wait they induced on the
+//!    others. Wait is excluded deliberately: in a barrier-synchronized
+//!    step every rank's wall occupancy ties, but the rank still working
+//!    while the others sit in `wait` is the one holding the step open.
+//! 3. **Imbalance attribution** — Eq.-(1) LB on traced compute seconds
+//!    per step, against the partitioner's element-count LB (from the
+//!    `elements` args on compute slices); the gap is the imbalance the
+//!    partitioner did not predict, and the measured wait is blamed on
+//!    communication volume priced by the seam α/β machine model.
+//!
+//! Everything here is a pure function of the trace bytes — no clocks,
+//! no environment — so [`TraceAnalysis::to_json`] (schema
+//! `cubesfc-analysis-v1`) is byte-identical across replays of the same
+//! trace, and pinnable in tests. [`compare_analyses`] diffs two
+//! analysis documents and gates on critical-path-seconds and
+//! wait-fraction regressions, mirroring `compare_profiles`.
+
+use crate::chrome::TRACE_SCHEMA;
+use crate::json::escape;
+use crate::telemetry::{SeriesBank, TelemetrySample};
+use crate::value::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag written to every analysis document.
+pub const ANALYSIS_SCHEMA: &str = "cubesfc-analysis-v1";
+
+/// α/β communication price used for the comm-volume blame term.
+///
+/// The defaults are the inter-node route of the seam machine model
+/// (`MachineModel::ncar_p690().alpha_beta()`); callers with a different
+/// machine pass their own terms through [`AnalyzeConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommModel {
+    /// Per-message latency (seconds).
+    pub alpha_s: f64,
+    /// Bandwidth (bytes per second).
+    pub beta_bytes_per_s: f64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel {
+            alpha_s: 18.0e-6,
+            beta_bytes_per_s: 350.0e6,
+        }
+    }
+}
+
+/// Tunables for [`analyze_trace`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalyzeConfig {
+    /// The α/β terms pricing traced communication volume.
+    pub comm: CommModel,
+}
+
+/// One reconstructed interval on a lane.
+#[derive(Clone, Debug)]
+pub struct Slice {
+    /// Slice (phase) name from the `B` event.
+    pub name: String,
+    /// Start timestamp (ns).
+    pub start_ns: u64,
+    /// Duration (ns); zero-duration slices are legal.
+    pub dur_ns: u64,
+    /// Nesting depth (0 = top level). Only top-level slices count
+    /// toward busy time and the critical path; *all* slices count
+    /// toward the phase decomposition.
+    pub depth: u32,
+    /// The `elements` arg on the opening event (0 when absent) — the
+    /// partitioner's element count for compute slices.
+    pub elements: u64,
+}
+
+impl Slice {
+    fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// Nanoseconds of this slice inside the window `[a, b)`.
+    fn overlap_ns(&self, a: u64, b: u64) -> u64 {
+        self.end_ns().min(b).saturating_sub(self.start_ns.max(a))
+    }
+
+    /// Whether the slice begins inside the window `[a, b)` (how
+    /// zero-duration slices and per-step args are assigned a segment).
+    fn starts_in(&self, a: u64, b: u64) -> bool {
+        self.start_ns >= a && self.start_ns < b
+    }
+}
+
+/// One lane's reconstructed timeline.
+#[derive(Clone, Debug, Default)]
+pub struct LaneTimeline {
+    /// Lane name (from `thread_name` metadata; `tid <n>` fallback).
+    pub name: String,
+    /// Completed slices in start order.
+    pub slices: Vec<Slice>,
+    /// Instant-mark count.
+    pub instants: u64,
+    /// `E` events that arrived with no open slice (unbalanced input —
+    /// the matching `B` was truncated away).
+    pub unmatched_ends: u64,
+    /// `B` events whose `E` never arrived (drop-newest truncation);
+    /// closed at the lane's last observed timestamp, so their time is
+    /// kept — possibly undercounted, never invented.
+    pub unclosed_begins: u64,
+    /// First timestamp observed on the lane (ns).
+    pub first_ns: u64,
+    /// Last timestamp observed on the lane (ns).
+    pub last_ns: u64,
+    /// Σ of `bytes` args over the lane's events.
+    pub bytes: u64,
+    /// Σ of `messages` args; events carrying `bytes` but no explicit
+    /// `messages` count (e.g. `send`/`recv` instants) count as one
+    /// message each.
+    pub messages: u64,
+}
+
+impl LaneTimeline {
+    /// Σ durations over *all* slices (any depth). The phase
+    /// decomposition sums to exactly this.
+    pub fn total_slice_ns(&self) -> u64 {
+        self.slices.iter().map(|s| s.dur_ns).sum()
+    }
+
+    /// Σ durations over top-level slices only (never double-counts
+    /// nested time).
+    pub fn busy_ns(&self) -> u64 {
+        self.slices
+            .iter()
+            .filter(|s| s.depth == 0)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Wall extent the lane was live for (ns).
+    pub fn extent_ns(&self) -> u64 {
+        self.last_ns.saturating_sub(self.first_ns)
+    }
+
+    /// Fraction of the lane's extent covered by top-level slices.
+    pub fn utilization(&self) -> f64 {
+        let extent = self.extent_ns();
+        if extent == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / extent as f64
+    }
+
+    /// Per-phase nanoseconds, keyed by slice name, over all slices.
+    pub fn phase_ns(&self) -> BTreeMap<String, u64> {
+        let mut map = BTreeMap::new();
+        for s in &self.slices {
+            *map.entry(s.name.clone()).or_insert(0u64) += s.dur_ns;
+        }
+        map
+    }
+
+    /// `wait` nanoseconds as a fraction of all sliced nanoseconds.
+    pub fn wait_fraction(&self) -> f64 {
+        let total = self.total_slice_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.phase_ns().get("wait").copied().unwrap_or(0) as f64 / total as f64
+    }
+}
+
+/// The slowest-rank chain: who the other ranks waited for.
+#[derive(Clone, Copy, Debug)]
+pub struct Straggler {
+    /// The rank that was the per-segment bottleneck most often.
+    pub rank: usize,
+    /// How many segments it bottlenecked.
+    pub bottleneck_segments: usize,
+    /// Other ranks' `wait` seconds in the segments this rank
+    /// bottlenecked — the wait attributed to it.
+    pub attributed_wait_s: f64,
+}
+
+/// Aggregates over the `rank <n>` lanes.
+#[derive(Clone, Debug, Default)]
+pub struct RankSummary {
+    /// Sorted rank indices present in the trace.
+    pub ranks: Vec<usize>,
+    /// Nanoseconds per phase name, summed over all rank lanes. Sums
+    /// exactly (integer arithmetic) to `total_ns`.
+    pub decomposition_ns: BTreeMap<String, u64>,
+    /// Σ sliced nanoseconds over all rank lanes.
+    pub total_ns: u64,
+    /// `wait` nanoseconds over all rank lanes.
+    pub wait_ns: u64,
+    /// The slowest-rank chain (None without rank lanes or segments).
+    pub straggler: Option<Straggler>,
+    /// `[segment][rank]` productive (top-level non-`wait`) seconds,
+    /// feeding the sparkline rows — the straggler towers visibly where
+    /// wall occupancy would tie at the barrier.
+    pub per_segment_work: Vec<Vec<f64>>,
+}
+
+impl RankSummary {
+    /// `wait_ns / total_ns` (0 when no sliced time).
+    pub fn wait_fraction(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.wait_ns as f64 / self.total_ns as f64
+    }
+}
+
+/// The cross-rank critical path through the step structure.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPath {
+    /// Σ over segments of the bottleneck rank's productive (top-level
+    /// non-`wait`) seconds.
+    pub seconds: f64,
+    /// Segment count (steps when a `steps` lane exists, else 1).
+    pub segments: usize,
+    /// Seconds each phase contributed along the path (bottleneck ranks'
+    /// top-level non-`wait` slices, so each nanosecond is attributed
+    /// once).
+    pub phases: BTreeMap<String, f64>,
+    /// `(rank, segments bottlenecked)` for every rank, in rank order.
+    pub bottlenecks: Vec<(usize, usize)>,
+}
+
+/// Measured-vs-predicted imbalance attribution.
+#[derive(Clone, Debug, Default)]
+pub struct Imbalance {
+    /// Eq.-(1) LB on traced compute seconds, mean over segments.
+    pub lb_measured_mean: f64,
+    /// Worst-segment Eq.-(1) LB on traced compute seconds.
+    pub lb_measured_max: f64,
+    /// Eq.-(1) LB on the `elements` args, mean over segments.
+    pub lb_elements_mean: f64,
+    /// Worst-segment element-count LB.
+    pub lb_elements_max: f64,
+    /// `lb_measured_mean - lb_elements_mean`: imbalance the partitioner
+    /// did not predict.
+    pub gap: f64,
+    /// Σ `bytes` args over rank lanes.
+    pub bytes_total: u64,
+    /// Σ message counts over rank lanes.
+    pub messages: u64,
+    /// `α·messages + bytes/β` — what the machine model says the traced
+    /// comm volume should cost.
+    pub predicted_comm_s: f64,
+    /// How much of the measured wait the α/β comm model explains
+    /// (capped at 1; the rest is synchronization imbalance).
+    pub comm_blame_fraction: f64,
+}
+
+/// The full analysis of one trace document.
+#[derive(Clone, Debug)]
+pub struct TraceAnalysis {
+    /// `droppedEvents` from the trace's `otherData`.
+    pub dropped_events: u64,
+    /// Per-lane timelines, sorted by lane name.
+    pub lanes: Vec<LaneTimeline>,
+    /// Rank-lane aggregates.
+    pub ranks: RankSummary,
+    /// The cross-rank critical path.
+    pub critical_path: CriticalPath,
+    /// Imbalance attribution.
+    pub imbalance: Imbalance,
+    /// The α/β terms the attribution used.
+    pub comm: CommModel,
+}
+
+/// `rank <n>` lane names carry their rank index.
+fn rank_index(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("rank ")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// `ts` fields are decimal microseconds with three places; recover the
+/// exact integer nanoseconds.
+fn ts_to_ns(v: &JsonValue) -> Option<u64> {
+    let us = v.as_f64()?;
+    if !us.is_finite() || us < 0.0 {
+        return None;
+    }
+    Some((us * 1000.0).round() as u64)
+}
+
+fn arg_u64(ev: &JsonValue, key: &str) -> Option<u64> {
+    ev.get("args")?.get(key)?.as_u64()
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        // json has no NaN/inf; readers map null back to NaN.
+        "null".to_string()
+    }
+}
+
+/// Eq. (1): `(max - avg) / max` over finite loads (0 when empty or
+/// max ≤ 0).
+fn load_balance(loads: &[f64]) -> f64 {
+    let finite: Vec<f64> = loads.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return 0.0;
+    }
+    let max = finite.iter().fold(0.0f64, |a, &b| a.max(b));
+    if max <= 0.0 {
+        return 0.0;
+    }
+    let avg = finite.iter().sum::<f64>() / finite.len() as f64;
+    (max - avg) / max
+}
+
+/// Parse and analyze a `cubesfc-trace-v1` document in one call.
+///
+/// JSON syntax errors come back verbatim from [`crate::json_parse`]
+/// (with line/column positions); callers that need to distinguish
+/// malformed input (exit 2) from schema violations (exit 1) parse first
+/// and call [`analyze_doc`] themselves.
+pub fn analyze_trace(text: &str, cfg: &AnalyzeConfig) -> Result<TraceAnalysis, String> {
+    analyze_doc(&parse(text)?, cfg)
+}
+
+/// Analyze a parsed `cubesfc-trace-v1` document.
+pub fn analyze_doc(doc: &JsonValue, cfg: &AnalyzeConfig) -> Result<TraceAnalysis, String> {
+    let schema = doc
+        .get("otherData")
+        .and_then(|o| o.get("schema"))
+        .and_then(|s| s.as_str())
+        .unwrap_or("<missing>");
+    if schema != TRACE_SCHEMA {
+        return Err(format!(
+            "not a {TRACE_SCHEMA} document (schema: {schema:?})"
+        ));
+    }
+    let dropped_events = doc
+        .get("otherData")
+        .and_then(|o| o.get("droppedEvents"))
+        .and_then(|d| d.as_u64())
+        .unwrap_or(0);
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or("traceEvents array missing")?;
+
+    // Pass 1: tid → lane name from the thread_name metadata the
+    // exporter guarantees (chrome.rs), timeline events bucketed per tid
+    // in document order — the exporter's stable time sort preserves
+    // each lane's begin/end order.
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut per_tid: BTreeMap<u64, Vec<&JsonValue>> = BTreeMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(|p| p.as_str()).unwrap_or("");
+        let tid = ev.get("tid").and_then(|t| t.as_u64());
+        match ph {
+            "M" if ev.get("name").and_then(|n| n.as_str()) == Some("thread_name") => {
+                if let (Some(tid), Some(name)) = (
+                    tid,
+                    ev.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|n| n.as_str()),
+                ) {
+                    names.insert(tid, name.to_string());
+                }
+            }
+            "B" | "E" | "i" => {
+                if let Some(tid) = tid {
+                    per_tid.entry(tid).or_default().push(ev);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: per-tid interval reconstruction via a begin stack.
+    let mut lanes: Vec<LaneTimeline> = Vec::with_capacity(per_tid.len().max(names.len()));
+    for (tid, evs) in &per_tid {
+        let mut lane = LaneTimeline {
+            name: names
+                .get(tid)
+                .cloned()
+                .unwrap_or_else(|| format!("tid {tid}")),
+            first_ns: u64::MAX,
+            ..LaneTimeline::default()
+        };
+        // Open begins: (name, start_ns, elements arg).
+        let mut stack: Vec<(String, u64, u64)> = Vec::new();
+        for ev in evs {
+            let Some(ts) = ev.get("ts").and_then(ts_to_ns) else {
+                continue; // unreadable timestamp: not a timeline event
+            };
+            lane.first_ns = lane.first_ns.min(ts);
+            lane.last_ns = lane.last_ns.max(ts);
+            match arg_u64(ev, "messages") {
+                Some(m) => lane.messages += m,
+                None => {
+                    if arg_u64(ev, "bytes").is_some() {
+                        lane.messages += 1;
+                    }
+                }
+            }
+            if let Some(b) = arg_u64(ev, "bytes") {
+                lane.bytes += b;
+            }
+            match ev.get("ph").and_then(|p| p.as_str()) {
+                Some("B") => {
+                    let name = ev
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .unwrap_or("<unnamed>")
+                        .to_string();
+                    stack.push((name, ts, arg_u64(ev, "elements").unwrap_or(0)));
+                }
+                Some("E") => match stack.pop() {
+                    Some((name, start, elements)) => lane.slices.push(Slice {
+                        name,
+                        start_ns: start,
+                        dur_ns: ts.saturating_sub(start),
+                        depth: stack.len() as u32,
+                        elements,
+                    }),
+                    None => lane.unmatched_ends += 1,
+                },
+                Some("i") => lane.instants += 1,
+                _ => {}
+            }
+        }
+        // Drop-newest truncation loses the tail of a lane's stream:
+        // close surviving begins at the lane's last timestamp.
+        let last = lane.last_ns;
+        while let Some((name, start, elements)) = stack.pop() {
+            lane.unclosed_begins += 1;
+            lane.slices.push(Slice {
+                name,
+                start_ns: start,
+                dur_ns: last.saturating_sub(start),
+                depth: stack.len() as u32,
+                elements,
+            });
+        }
+        if lane.first_ns == u64::MAX {
+            lane.first_ns = 0;
+        }
+        lane.slices.sort_by(|a, b| {
+            (a.start_ns, a.depth, a.name.as_str()).cmp(&(b.start_ns, b.depth, b.name.as_str()))
+        });
+        lanes.push(lane);
+    }
+    // Lanes that registered but never recorded still get a row.
+    for (tid, name) in &names {
+        if !per_tid.contains_key(tid) {
+            lanes.push(LaneTimeline {
+                name: name.clone(),
+                ..LaneTimeline::default()
+            });
+        }
+    }
+    lanes.sort_by(|a, b| a.name.cmp(&b.name));
+
+    Ok(build_analysis(dropped_events, lanes, cfg))
+}
+
+/// Segment boundaries from the `steps` lane's `step` slices, or one
+/// whole-run segment over the rank lanes' extent.
+fn segments_of(lanes: &[LaneTimeline], by_rank: &[&LaneTimeline]) -> Vec<(u64, u64)> {
+    if let Some(steps) = lanes.iter().find(|l| l.name == "steps") {
+        let segs: Vec<(u64, u64)> = steps
+            .slices
+            .iter()
+            .filter(|s| s.name == "step")
+            .map(|s| (s.start_ns, s.end_ns()))
+            .collect();
+        if !segs.is_empty() {
+            return segs;
+        }
+    }
+    let lo = by_rank.iter().map(|l| l.first_ns).min().unwrap_or(0);
+    let hi = by_rank.iter().map(|l| l.last_ns).max().unwrap_or(0);
+    if hi > lo {
+        vec![(lo, hi)]
+    } else {
+        Vec::new()
+    }
+}
+
+fn build_analysis(
+    dropped_events: u64,
+    lanes: Vec<LaneTimeline>,
+    cfg: &AnalyzeConfig,
+) -> TraceAnalysis {
+    // Rank lanes in numeric rank order (lexicographic name order would
+    // put "rank 10" before "rank 2").
+    let mut by_rank: Vec<&LaneTimeline> = lanes
+        .iter()
+        .filter(|l| rank_index(&l.name).is_some())
+        .collect();
+    by_rank.sort_by_key(|l| rank_index(&l.name).unwrap());
+    let rank_ids: Vec<usize> = by_rank
+        .iter()
+        .map(|l| rank_index(&l.name).unwrap())
+        .collect();
+
+    let segments = segments_of(&lanes, &by_rank);
+
+    // Wait-state decomposition: integer nanoseconds over all slices of
+    // the rank lanes, so Σ buckets == Σ raw slice durations exactly.
+    let mut decomposition_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut total_ns = 0u64;
+    for lane in &by_rank {
+        for (name, ns) in lane.phase_ns() {
+            *decomposition_ns.entry(name).or_insert(0) += ns;
+        }
+        total_ns += lane.total_slice_ns();
+    }
+    let wait_ns = decomposition_ns.get("wait").copied().unwrap_or(0);
+
+    // Per-segment bottleneck chain, critical path, and Eq.-(1) series.
+    let nseg = segments.len();
+    let mut per_segment_work = vec![vec![0.0f64; by_rank.len()]; nseg];
+    let mut bottleneck_counts: BTreeMap<usize, usize> = rank_ids.iter().map(|&r| (r, 0)).collect();
+    let mut attributed_wait: BTreeMap<usize, f64> = rank_ids.iter().map(|&r| (r, 0.0)).collect();
+    let mut cp_seconds = 0.0;
+    let mut cp_phases: BTreeMap<String, f64> = BTreeMap::new();
+    let mut lb_measured = Vec::with_capacity(nseg);
+    let mut lb_elements = Vec::with_capacity(nseg);
+    for (k, &(a, b)) in segments.iter().enumerate() {
+        let n = by_rank.len();
+        let mut work = vec![0.0f64; n];
+        let mut waits = vec![0.0f64; n];
+        let mut compute = vec![0.0f64; n];
+        let mut elements = vec![0.0f64; n];
+        for (i, lane) in by_rank.iter().enumerate() {
+            for s in &lane.slices {
+                let secs = s.overlap_ns(a, b) as f64 / 1e9;
+                if s.depth == 0 && s.name != "wait" {
+                    work[i] += secs;
+                }
+                match s.name.as_str() {
+                    "wait" => waits[i] += secs,
+                    "compute" => {
+                        compute[i] += secs;
+                        if s.starts_in(a, b) {
+                            elements[i] += s.elements as f64;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            per_segment_work[k][i] = work[i];
+        }
+        // Bottleneck: the rank with the most productive time in the
+        // segment (first wins on exact ties, for determinism). Wall
+        // occupancy would tie at the barrier; work singles out the rank
+        // holding the step open.
+        let mut bi = None;
+        for (i, &v) in work.iter().enumerate() {
+            if bi.is_none_or(|j: usize| v > work[j]) {
+                bi = Some(i);
+            }
+        }
+        if let Some(bi) = bi {
+            let bottleneck_rank = rank_ids[bi];
+            *bottleneck_counts.entry(bottleneck_rank).or_insert(0) += 1;
+            cp_seconds += work[bi];
+            for s in &by_rank[bi].slices {
+                let ov = s.overlap_ns(a, b);
+                if s.depth == 0 && s.name != "wait" && ov > 0 {
+                    *cp_phases.entry(s.name.clone()).or_insert(0.0) += ov as f64 / 1e9;
+                }
+            }
+            let others_wait: f64 = waits
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != bi)
+                .map(|(_, w)| w)
+                .sum();
+            *attributed_wait.entry(bottleneck_rank).or_insert(0.0) += others_wait;
+        }
+        lb_measured.push(load_balance(&compute));
+        lb_elements.push(load_balance(&elements));
+    }
+
+    let straggler = bottleneck_counts
+        .iter()
+        .filter(|&(_, &n)| n > 0)
+        .max_by_key(|&(r, &n)| (n, std::cmp::Reverse(*r)))
+        .map(|(&rank, &n)| Straggler {
+            rank,
+            bottleneck_segments: n,
+            attributed_wait_s: attributed_wait.get(&rank).copied().unwrap_or(0.0),
+        });
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let maxv = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    let bytes_total: u64 = by_rank.iter().map(|l| l.bytes).sum();
+    let messages: u64 = by_rank.iter().map(|l| l.messages).sum();
+    let predicted_comm_s =
+        messages as f64 * cfg.comm.alpha_s + bytes_total as f64 / cfg.comm.beta_bytes_per_s;
+    let wait_s = wait_ns as f64 / 1e9;
+    let comm_blame_fraction = if wait_s > 0.0 {
+        (predicted_comm_s / wait_s).min(1.0)
+    } else {
+        0.0
+    };
+
+    let lb_measured_mean = mean(&lb_measured);
+    let lb_elements_mean = mean(&lb_elements);
+
+    TraceAnalysis {
+        dropped_events,
+        ranks: RankSummary {
+            ranks: rank_ids,
+            decomposition_ns,
+            total_ns,
+            wait_ns,
+            straggler,
+            per_segment_work,
+        },
+        critical_path: CriticalPath {
+            seconds: cp_seconds,
+            segments: nseg,
+            phases: cp_phases,
+            bottlenecks: bottleneck_counts.into_iter().collect(),
+        },
+        imbalance: Imbalance {
+            lb_measured_mean,
+            lb_measured_max: maxv(&lb_measured),
+            lb_elements_mean,
+            lb_elements_max: maxv(&lb_elements),
+            gap: lb_measured_mean - lb_elements_mean,
+            bytes_total,
+            messages,
+            predicted_comm_s,
+            comm_blame_fraction,
+        },
+        comm: cfg.comm,
+        lanes,
+    }
+}
+
+impl TraceAnalysis {
+    /// Serialize as a `cubesfc-analysis-v1` JSON document. Key order is
+    /// fixed and floats use shortest-roundtrip formatting, so the same
+    /// trace always produces identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{ANALYSIS_SCHEMA}\",\"dropped_events\":{},\"lanes\":[",
+            self.dropped_events
+        );
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"slices\":{},\"instants\":{},\"unmatched_ends\":{},\
+                 \"unclosed_begins\":{},\"extent_ns\":{},\"busy_ns\":{},\"total_slice_ns\":{},\
+                 \"utilization\":{},\"wait_fraction\":{},\"phases\":{{",
+                escape(&lane.name),
+                lane.slices.len(),
+                lane.instants,
+                lane.unmatched_ends,
+                lane.unclosed_begins,
+                lane.extent_ns(),
+                lane.busy_ns(),
+                lane.total_slice_ns(),
+                json_f64(lane.utilization()),
+                json_f64(lane.wait_fraction()),
+            );
+            for (j, (name, ns)) in lane.phase_ns().iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{ns}", escape(name));
+            }
+            s.push_str("}}");
+        }
+        let _ = write!(
+            s,
+            "],\"ranks\":{{\"count\":{},\"segments\":{},\"total_s\":{},\"wait_s\":{},\
+             \"wait_fraction\":{},\"decomposition\":{{",
+            self.ranks.ranks.len(),
+            self.critical_path.segments,
+            json_f64(self.ranks.total_ns as f64 / 1e9),
+            json_f64(self.ranks.wait_ns as f64 / 1e9),
+            json_f64(self.ranks.wait_fraction()),
+        );
+        for (j, (name, ns)) in self.ranks.decomposition_ns.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", escape(name), json_f64(*ns as f64 / 1e9));
+        }
+        s.push_str("},\"straggler\":");
+        match &self.ranks.straggler {
+            Some(st) => {
+                let _ = write!(
+                    s,
+                    "{{\"rank\":{},\"bottleneck_segments\":{},\"attributed_wait_s\":{}}}",
+                    st.rank,
+                    st.bottleneck_segments,
+                    json_f64(st.attributed_wait_s)
+                );
+            }
+            None => s.push_str("null"),
+        }
+        let _ = write!(
+            s,
+            "}},\"critical_path\":{{\"seconds\":{},\"segments\":{},\"phases\":{{",
+            json_f64(self.critical_path.seconds),
+            self.critical_path.segments,
+        );
+        for (j, (name, secs)) in self.critical_path.phases.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let pct = if self.critical_path.seconds > 0.0 {
+                secs / self.critical_path.seconds * 100.0
+            } else {
+                0.0
+            };
+            let _ = write!(
+                s,
+                "\"{}\":{{\"seconds\":{},\"pct\":{}}}",
+                escape(name),
+                json_f64(*secs),
+                json_f64(pct)
+            );
+        }
+        s.push_str("},\"bottlenecks\":[");
+        for (j, (rank, count)) in self.critical_path.bottlenecks.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{rank},{count}]");
+        }
+        let im = &self.imbalance;
+        let _ = write!(
+            s,
+            "]}},\"imbalance\":{{\"lb_measured_mean\":{},\"lb_measured_max\":{},\
+             \"lb_elements_mean\":{},\"lb_elements_max\":{},\"gap\":{},\"comm\":{{\
+             \"alpha_s\":{},\"beta_bytes_per_s\":{},\"bytes_total\":{},\"messages\":{},\
+             \"predicted_comm_s\":{},\"wait_s\":{},\"comm_blame_fraction\":{}}}}}}}",
+            json_f64(im.lb_measured_mean),
+            json_f64(im.lb_measured_max),
+            json_f64(im.lb_elements_mean),
+            json_f64(im.lb_elements_max),
+            json_f64(im.gap),
+            json_f64(self.comm.alpha_s),
+            json_f64(self.comm.beta_bytes_per_s),
+            im.bytes_total,
+            im.messages,
+            json_f64(im.predicted_comm_s),
+            json_f64(self.ranks.wait_ns as f64 / 1e9),
+            json_f64(im.comm_blame_fraction),
+        );
+        s
+    }
+
+    /// Render the fixed-width terminal report: lane table, wait-state
+    /// decomposition, critical path, imbalance attribution, and
+    /// per-rank busy-seconds sparklines (one point per segment) through
+    /// the shared [`SeriesBank`] path.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace analysis ({ANALYSIS_SCHEMA}), {} lane(s), {} dropped event(s)",
+            self.lanes.len(),
+            self.dropped_events
+        );
+
+        if !self.lanes.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{:<24} {:>8} {:>12} {:>12} {:>7} {:>7} {:>9} {:>9}",
+                "lane",
+                "slices",
+                "busy(ms)",
+                "total(ms)",
+                "util%",
+                "wait%",
+                "unclosed",
+                "unmatched"
+            );
+            for lane in &self.lanes {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>8} {:>12.3} {:>12.3} {:>7.1} {:>7.1} {:>9} {:>9}",
+                    lane.name,
+                    lane.slices.len(),
+                    lane.busy_ns() as f64 / 1e6,
+                    lane.total_slice_ns() as f64 / 1e6,
+                    lane.utilization() * 100.0,
+                    lane.wait_fraction() * 100.0,
+                    lane.unclosed_begins,
+                    lane.unmatched_ends,
+                );
+            }
+        }
+
+        if !self.ranks.ranks.is_empty() {
+            let _ = writeln!(
+                out,
+                "\nwait-state decomposition ({} rank lane(s))",
+                self.ranks.ranks.len()
+            );
+            let total = self.ranks.total_ns.max(1) as f64;
+            for (name, ns) in &self.ranks.decomposition_ns {
+                let _ = writeln!(
+                    out,
+                    "  {:<16} {:>12.3} ms {:>6.1}%",
+                    name,
+                    *ns as f64 / 1e6,
+                    *ns as f64 / total * 100.0
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>12.3} ms  wait fraction {:.1}%",
+                "total",
+                self.ranks.total_ns as f64 / 1e6,
+                self.ranks.wait_fraction() * 100.0
+            );
+        }
+
+        let cp = &self.critical_path;
+        let _ = writeln!(
+            out,
+            "\ncritical path: {:.3} ms across {} segment(s)",
+            cp.seconds * 1e3,
+            cp.segments
+        );
+        for (name, secs) in &cp.phases {
+            let pct = if cp.seconds > 0.0 {
+                secs / cp.seconds * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {:<16} {:>12.3} ms {:>6.1}%", name, secs * 1e3, pct);
+        }
+        let chain: Vec<String> = cp
+            .bottlenecks
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(r, n)| format!("rank {r} ×{n}"))
+            .collect();
+        if !chain.is_empty() {
+            let _ = writeln!(out, "  bottleneck chain: {}", chain.join(", "));
+        }
+        if let Some(st) = &self.ranks.straggler {
+            let _ = writeln!(
+                out,
+                "  straggler: rank {} ({} segment(s), {:.3} ms induced wait)",
+                st.rank,
+                st.bottleneck_segments,
+                st.attributed_wait_s * 1e3
+            );
+        }
+
+        let im = &self.imbalance;
+        let _ = writeln!(out, "\nimbalance attribution (Eq. 1)");
+        let _ = writeln!(
+            out,
+            "  measured compute LB:  mean {:.4}  max {:.4}",
+            im.lb_measured_mean, im.lb_measured_max
+        );
+        let _ = writeln!(
+            out,
+            "  element-count LB:     mean {:.4}  max {:.4}",
+            im.lb_elements_mean, im.lb_elements_max
+        );
+        let _ = writeln!(out, "  unpredicted gap:      {:.4}", im.gap);
+        let _ = writeln!(
+            out,
+            "  comm model: α={:.1e} s, β={:.3e} B/s; {} B in {} message(s) → {:.3} ms predicted",
+            self.comm.alpha_s,
+            self.comm.beta_bytes_per_s,
+            im.bytes_total,
+            im.messages,
+            im.predicted_comm_s * 1e3
+        );
+        let _ = writeln!(
+            out,
+            "  comm explains {:.1}% of {:.3} ms measured wait",
+            im.comm_blame_fraction * 100.0,
+            self.ranks.wait_ns as f64 / 1e6
+        );
+
+        // Per-rank productive seconds per segment through the shared
+        // SeriesBank sparkline path (lane "analysis", seq = segment).
+        if !self.ranks.per_segment_work.is_empty() {
+            let mut bank = SeriesBank::new(self.ranks.per_segment_work.len());
+            for (k, busy) in self.ranks.per_segment_work.iter().enumerate() {
+                bank.ingest(&TelemetrySample {
+                    seq: k as u64,
+                    lane: "analysis".to_string(),
+                    step: k as u64,
+                    gauges: BTreeMap::new(),
+                    counters: BTreeMap::new(),
+                    quantiles: BTreeMap::new(),
+                    ranks: busy.clone(),
+                    alerts: Vec::new(),
+                });
+            }
+            let _ = writeln!(out, "\nper-rank productive seconds per segment");
+            out.push_str(&bank.render(0));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison
+
+/// One gated metric in an analysis comparison.
+#[derive(Clone, Debug)]
+pub struct AnalysisDelta {
+    /// Metric path (e.g. `critical_path/seconds`).
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Relative change in percent for absolute metrics; change in
+    /// percentage *points* for fraction metrics.
+    pub change: f64,
+    /// Whether the change crossed the threshold.
+    pub regressed: bool,
+}
+
+/// The diff of two `cubesfc-analysis-v1` documents.
+#[derive(Clone, Debug)]
+pub struct AnalysisCompare {
+    /// Gated and informational metrics, in report order.
+    pub deltas: Vec<AnalysisDelta>,
+    /// Threshold (percent / percentage points) the gates used.
+    pub threshold_pct: f64,
+}
+
+impl AnalysisCompare {
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+    }
+
+    /// Render a human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "analysis comparison (threshold {:.0}%)",
+            self.threshold_pct
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<28} {:>14} {:>14} {:>10}  status",
+            "metric", "old", "new", "change"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14.6} {:>14.6} {:>9.1}{}  {}",
+                d.name,
+                d.old,
+                d.new,
+                d.change,
+                if d.name.ends_with("fraction") {
+                    "pp"
+                } else {
+                    "%"
+                },
+                if d.regressed { "REGRESSED" } else { "ok" },
+            );
+        }
+        let n = self.regressions();
+        if n == 0 {
+            let _ = writeln!(out, "\nno regressions");
+        } else {
+            let _ = writeln!(out, "\n{n} regression(s)");
+        }
+        out
+    }
+}
+
+fn analysis_metric(doc: &JsonValue, group: &str, key: &str) -> f64 {
+    doc.get(group)
+        .and_then(|g| g.get(key))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0)
+}
+
+/// Compare two `cubesfc-analysis-v1` JSON documents against a
+/// regression threshold.
+///
+/// Two metrics gate (mirroring `compare_profiles`): critical-path
+/// seconds regress when they grow by more than `threshold_pct` percent;
+/// the rank wait fraction regresses when it grows by more than
+/// `threshold_pct` percentage *points*. Total rank seconds ride along
+/// as an informational row. Errors on malformed JSON or wrong schema.
+pub fn compare_analyses(
+    old_json: &str,
+    new_json: &str,
+    threshold_pct: f64,
+) -> Result<AnalysisCompare, String> {
+    let old = parse(old_json).map_err(|e| format!("baseline analysis: {e}"))?;
+    let new = parse(new_json).map_err(|e| format!("new analysis: {e}"))?;
+    for (side, doc) in [("baseline", &old), ("new", &new)] {
+        match doc.get("schema").and_then(|s| s.as_str()) {
+            Some(ANALYSIS_SCHEMA) => {}
+            Some(s) => {
+                return Err(format!(
+                    "{side} analysis: unsupported schema {s:?} (want {ANALYSIS_SCHEMA:?})"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "{side} analysis: missing \"schema\" key — not an analysis document"
+                ))
+            }
+        }
+    }
+
+    let mut deltas = Vec::new();
+    let (cp_old, cp_new) = (
+        analysis_metric(&old, "critical_path", "seconds"),
+        analysis_metric(&new, "critical_path", "seconds"),
+    );
+    let cp_change = if cp_old > 0.0 {
+        (cp_new / cp_old - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    deltas.push(AnalysisDelta {
+        name: "critical_path/seconds".to_string(),
+        old: cp_old,
+        new: cp_new,
+        change: cp_change,
+        regressed: cp_change > threshold_pct,
+    });
+    let (wf_old, wf_new) = (
+        analysis_metric(&old, "ranks", "wait_fraction"),
+        analysis_metric(&new, "ranks", "wait_fraction"),
+    );
+    let wf_change = (wf_new - wf_old) * 100.0;
+    deltas.push(AnalysisDelta {
+        name: "ranks/wait_fraction".to_string(),
+        old: wf_old,
+        new: wf_new,
+        change: wf_change,
+        regressed: wf_change > threshold_pct,
+    });
+    let (ts_old, ts_new) = (
+        analysis_metric(&old, "ranks", "total_s"),
+        analysis_metric(&new, "ranks", "total_s"),
+    );
+    deltas.push(AnalysisDelta {
+        name: "ranks/total_s".to_string(),
+        old: ts_old,
+        new: ts_new,
+        change: if ts_old > 0.0 {
+            (ts_new / ts_old - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        regressed: false,
+    });
+    Ok(AnalysisCompare {
+        deltas,
+        threshold_pct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MockClock, Tracer};
+    use std::sync::Arc;
+
+    fn analyze(tracer: &Tracer) -> TraceAnalysis {
+        analyze_trace(&tracer.export_chrome(), &AnalyzeConfig::default()).unwrap()
+    }
+
+    fn lane<'a>(a: &'a TraceAnalysis, name: &str) -> &'a LaneTimeline {
+        a.lanes.iter().find(|l| l.name == name).unwrap()
+    }
+
+    #[test]
+    fn schema_mismatch_and_garbage_error_out() {
+        let cfg = AnalyzeConfig::default();
+        let err = analyze_trace(
+            "{\"otherData\":{\"schema\":\"nope\"},\"traceEvents\":[]}",
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(err.contains("cubesfc-trace-v1"), "{err}");
+        // Syntax errors surface json_parse's line/column diagnostics.
+        let err = analyze_trace("{\"otherData\":", &cfg).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_reconstructs_slices_and_args() {
+        let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+        let r0 = tracer.lane("rank 0");
+        let r1 = tracer.lane("rank 1");
+        r0.slice_at("compute", 0, 3_000, &[("elements", 10)]);
+        r0.slice_at("wait", 3_000, 4_000, &[]);
+        r1.slice_at("compute", 0, 1_000, &[("elements", 2)]);
+        r1.slice_at("wait", 1_000, 4_000, &[]);
+        r1.instant_at("recv", 500, &[("bytes", 64)]);
+
+        let a = analyze(&tracer);
+        let l0 = lane(&a, "rank 0");
+        assert_eq!(l0.slices.len(), 2);
+        assert_eq!(l0.slices[0].name, "compute");
+        assert_eq!(l0.slices[0].elements, 10);
+        assert_eq!(l0.total_slice_ns(), 4_000);
+        assert_eq!(l0.busy_ns(), 4_000);
+        assert!((l0.utilization() - 1.0).abs() < 1e-12);
+        let l1 = lane(&a, "rank 1");
+        assert_eq!(l1.bytes, 64);
+        assert_eq!(l1.messages, 1);
+        assert_eq!(l1.instants, 1);
+        // Decomposition: total == compute + wait, in exact integer ns.
+        assert_eq!(a.ranks.total_ns, 8_000);
+        assert_eq!(a.ranks.decomposition_ns["compute"], 4_000);
+        assert_eq!(a.ranks.decomposition_ns["wait"], 4_000);
+        assert_eq!(a.ranks.wait_ns, 4_000);
+        // One whole-run segment: rank 0 is the bottleneck (3µs of
+        // productive work vs 1µs), charged with rank 1's 3µs wait.
+        assert_eq!(a.critical_path.segments, 1);
+        assert!((a.critical_path.seconds - 3e-6).abs() < 1e-15);
+        let st = a.ranks.straggler.unwrap();
+        assert_eq!(st.rank, 0);
+        assert_eq!(st.bottleneck_segments, 1);
+        assert!((st.attributed_wait_s - 3e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unmatched_ends_are_tolerated_not_fatal() {
+        // An E with no B (its begin was truncated away) must not panic
+        // and must be counted, not silently dropped.
+        let doc = format!(
+            "{{\"otherData\":{{\"schema\":\"{TRACE_SCHEMA}\",\"droppedEvents\":7}},\
+             \"traceEvents\":[\
+             {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":\"rank 0\"}}}},\
+             {{\"ph\":\"E\",\"pid\":1,\"tid\":0,\"ts\":1.000}},\
+             {{\"name\":\"compute\",\"ph\":\"B\",\"pid\":1,\"tid\":0,\"ts\":2.000}},\
+             {{\"ph\":\"E\",\"pid\":1,\"tid\":0,\"ts\":5.000}}]}}"
+        );
+        let a = analyze_trace(&doc, &AnalyzeConfig::default()).unwrap();
+        assert_eq!(a.dropped_events, 7);
+        let l = lane(&a, "rank 0");
+        assert_eq!(l.unmatched_ends, 1);
+        assert_eq!(l.slices.len(), 1);
+        assert_eq!(l.slices[0].dur_ns, 3_000);
+    }
+
+    #[test]
+    fn unclosed_begins_close_at_lane_end() {
+        // Drop-newest truncation loses the tail: open begins close at
+        // the lane's last observed timestamp.
+        let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+        let r0 = tracer.lane("rank 0");
+        r0.slice_at("compute", 0, 2_000, &[]);
+        r0.begin_at("pack", 2_000, &[("bytes", 128)]);
+        // A later instant extends the lane past the dangling begin.
+        r0.instant_at("send", 6_000, &[("bytes", 128)]);
+        let a = analyze(&tracer);
+        let l = lane(&a, "rank 0");
+        assert_eq!(l.unclosed_begins, 1);
+        let pack = l.slices.iter().find(|s| s.name == "pack").unwrap();
+        assert_eq!(pack.start_ns, 2_000);
+        assert_eq!(pack.dur_ns, 4_000, "closed at the lane's last ts");
+        assert_eq!(l.bytes, 256);
+    }
+
+    #[test]
+    fn zero_duration_slices_are_legal() {
+        let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+        let r0 = tracer.lane("rank 0");
+        r0.slice_at("compute", 0, 1_000, &[]);
+        r0.slice_at("wait", 1_000, 1_000, &[]); // perfectly balanced rank
+        let a = analyze(&tracer);
+        let l = lane(&a, "rank 0");
+        assert_eq!(l.slices.len(), 2);
+        assert_eq!(l.total_slice_ns(), 1_000);
+        assert_eq!(a.ranks.decomposition_ns["wait"], 0);
+        // And the zero-duration slice still shows up in the phase map.
+        assert!(l.phase_ns().contains_key("wait"));
+    }
+
+    #[test]
+    fn truncated_ring_keeps_exact_dropped_accounting() {
+        // Tiny per-shard capacity: the ring drops newest events with an
+        // exact count that must survive export → analysis.
+        let tracer = Tracer::with_clock_and_capacity(Arc::new(MockClock::new()), 4);
+        let r0 = tracer.lane("rank 0");
+        for i in 0..8u64 {
+            r0.slice_at("compute", i * 10, i * 10 + 5, &[]);
+        }
+        let dropped = tracer.dropped_events();
+        assert!(dropped > 0);
+        let a = analyze(&tracer);
+        assert_eq!(a.dropped_events, dropped);
+        // Whatever survived still reconstructs without panicking, and
+        // every surviving event is attributed somewhere.
+        let l = lane(&a, "rank 0");
+        assert_eq!(
+            l.slices.len() as u64 * 2 - l.unclosed_begins + l.unmatched_ends + l.instants,
+            4,
+        );
+    }
+
+    #[test]
+    fn phase_totals_equal_sum_of_raw_slice_durations() {
+        // Property test: for pseudo-random balanced-and-unbalanced
+        // timelines, per-lane phase totals equal the summed raw slice
+        // durations, and the rank decomposition equals the summed lane
+        // totals — exactly, in integer nanoseconds.
+        let mut state = 0x5EED_CAFE_u64;
+        let mut rng = move || {
+            // xorshift64* — deterministic, no external crates.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let phases = ["compute", "pack", "wait", "scatter"];
+        for _round in 0..16 {
+            let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+            let nlanes = 1 + (rng() % 4) as usize;
+            for r in 0..nlanes {
+                let lane = tracer.lane(&format!("rank {r}"));
+                let mut ts = 0u64;
+                for _ in 0..(rng() % 20) {
+                    let name = phases[(rng() % phases.len() as u64) as usize];
+                    let dur = rng() % 1_000; // zero-duration included
+                    lane.slice_at(name, ts, ts + dur, &[]);
+                    ts += dur + rng() % 50;
+                }
+                if rng() % 3 == 0 {
+                    lane.begin_at("compute", ts, &[]); // left unclosed
+                }
+            }
+            let a = analyze(&tracer);
+            let mut lane_total_sum = 0u64;
+            for l in &a.lanes {
+                let phase_sum: u64 = l.phase_ns().values().sum();
+                assert_eq!(phase_sum, l.total_slice_ns(), "lane {}", l.name);
+                lane_total_sum += l.total_slice_ns();
+            }
+            let decomp_sum: u64 = a.ranks.decomposition_ns.values().sum();
+            assert_eq!(decomp_sum, a.ranks.total_ns);
+            assert_eq!(a.ranks.total_ns, lane_total_sum);
+        }
+    }
+
+    #[test]
+    fn step_segments_drive_critical_path_and_imbalance() {
+        let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+        let steps = tracer.lane("steps");
+        let r0 = tracer.lane("rank 0");
+        let r1 = tracer.lane("rank 1");
+        // Step 0: rank 0 slow (4µs vs 1µs), rank 1 waits 3µs.
+        steps.slice_at("step", 0, 4_000, &[("step", 0)]);
+        r0.slice_at("compute", 0, 4_000, &[("elements", 8)]);
+        r1.slice_at("compute", 0, 1_000, &[("elements", 8)]);
+        r1.slice_at("wait", 1_000, 4_000, &[]);
+        // Step 1: rank 1 slow (2µs vs 1µs), rank 0 waits 1µs.
+        steps.slice_at("step", 4_000, 6_000, &[("step", 1)]);
+        r0.slice_at("compute", 4_000, 5_000, &[("elements", 8)]);
+        r0.slice_at("wait", 5_000, 6_000, &[]);
+        r1.slice_at("compute", 4_000, 6_000, &[("elements", 8)]);
+
+        let a = analyze(&tracer);
+        assert_eq!(a.critical_path.segments, 2);
+        // Path = 4µs (rank 0 in step 0) + 2µs (rank 1 in step 1).
+        assert!((a.critical_path.seconds - 6e-6).abs() < 1e-15);
+        assert_eq!(a.critical_path.bottlenecks, vec![(0, 1), (1, 1)]);
+        // Straggler tie on segment count resolves to the lower rank.
+        let st = a.ranks.straggler.unwrap();
+        assert_eq!(st.rank, 0);
+        assert!((st.attributed_wait_s - 3e-6).abs() < 1e-15);
+        // Elements are balanced, compute seconds are not: the measured
+        // LB exceeds the element-count LB and the gap is positive.
+        assert!(a.imbalance.lb_measured_mean > 0.2);
+        assert_eq!(a.imbalance.lb_elements_mean, 0.0);
+        assert!(a.imbalance.gap > 0.2);
+    }
+
+    #[test]
+    fn analysis_json_is_deterministic_and_parseable() {
+        let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+        let steps = tracer.lane("steps");
+        let r0 = tracer.lane("rank 0");
+        steps.slice_at("step", 0, 2_000, &[("step", 0)]);
+        r0.slice_at("compute", 0, 1_500, &[("elements", 3)]);
+        r0.slice_at("wait", 1_500, 2_000, &[]);
+        r0.instant_at("send", 100, &[("bytes", 4096)]);
+        let text = tracer.export_chrome();
+        let cfg = AnalyzeConfig::default();
+        let j1 = analyze_trace(&text, &cfg).unwrap().to_json();
+        let j2 = analyze_trace(&text, &cfg).unwrap().to_json();
+        assert_eq!(j1, j2, "same trace bytes → same analysis bytes");
+        let doc = parse(&j1).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(ANALYSIS_SCHEMA));
+        assert_eq!(
+            doc.get("imbalance")
+                .unwrap()
+                .get("comm")
+                .unwrap()
+                .get("bytes_total")
+                .unwrap()
+                .as_u64(),
+            Some(4096)
+        );
+        // The render path is total: it never panics on real analyses.
+        let rendered = analyze_trace(&text, &cfg).unwrap().render();
+        assert!(rendered.contains("critical path"), "{rendered}");
+        assert!(rendered.contains("wait-state decomposition"), "{rendered}");
+    }
+
+    #[test]
+    fn compare_gates_on_critical_path_and_wait_fraction() {
+        let mk = |slow: u64| {
+            let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+            let steps = tracer.lane("steps");
+            let r0 = tracer.lane("rank 0");
+            let r1 = tracer.lane("rank 1");
+            let end = 1_000 * slow;
+            steps.slice_at("step", 0, end, &[("step", 0)]);
+            r0.slice_at("compute", 0, end, &[("elements", 4)]);
+            r1.slice_at("compute", 0, 1_000, &[("elements", 4)]);
+            r1.slice_at("wait", 1_000, end, &[]);
+            analyze(&tracer).to_json()
+        };
+        let base = mk(2); // cp 2µs, wait 1µs of 4µs sliced
+        let same = mk(2);
+        let slow = mk(6); // cp 6µs (+200%), wait 5µs of 12µs sliced
+
+        let ok = compare_analyses(&base, &same, 25.0).unwrap();
+        assert_eq!(ok.regressions(), 0);
+        assert!(ok.render().contains("no regressions"));
+
+        // cp +200% and wait fraction +16.7pp: both gate at 10.
+        let bad = compare_analyses(&base, &slow, 10.0).unwrap();
+        assert_eq!(bad.regressions(), 2, "{}", bad.render());
+        assert!(bad.render().contains("REGRESSED"));
+        // At 25 only the critical path crosses.
+        assert_eq!(
+            compare_analyses(&base, &slow, 25.0).unwrap().regressions(),
+            1
+        );
+        // The improvement direction never gates.
+        assert_eq!(
+            compare_analyses(&slow, &base, 10.0).unwrap().regressions(),
+            0
+        );
+
+        // Malformed / wrong-schema inputs are errors, not panics.
+        assert!(compare_analyses("{bad", &base, 25.0)
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(compare_analyses(&base, "{\"schema\":\"x\"}", 25.0)
+            .unwrap_err()
+            .contains("unsupported schema"));
+    }
+}

@@ -3,10 +3,14 @@
 //! The output is the JSON Object Format of the Trace Event spec — an
 //! object with a `traceEvents` array — loadable in Perfetto
 //! (<https://ui.perfetto.dev>) or `chrome://tracing`. Each lane becomes
-//! one thread row (`tid` = lane id) of a single process, named via
-//! `thread_name` metadata events and ordered by `thread_sort_index`, so
-//! virtual ranks render as adjacent timeline rows regardless of which
-//! OS thread simulated them.
+//! one thread row of a single process, named via `thread_name` metadata
+//! events and ordered by `thread_sort_index`, so virtual ranks render
+//! as adjacent timeline rows regardless of which OS thread simulated
+//! them. Thread ids are assigned by *lane-name sort order*, not lane
+//! registration order: registration order depends on thread scheduling,
+//! while the sorted assignment makes Perfetto row order — and the
+//! `tid` → lane mapping a replay tool reconstructs from the metadata —
+//! stable across runs.
 //!
 //! Timestamps are microseconds (the spec's unit) with nanosecond
 //! precision kept as three decimal places; formatting is integer-only,
@@ -47,6 +51,14 @@ impl Tracer {
     pub fn export_chrome(&self) -> String {
         let lanes = self.lane_names();
         let events = self.events();
+        // tid = position in lane-name sort order; `tid_of` maps the
+        // registration-order lane id each event carries to its tid.
+        let mut order: Vec<usize> = (0..lanes.len()).collect();
+        order.sort_by(|&a, &b| lanes[a].cmp(&lanes[b]));
+        let mut tid_of = vec![0u32; lanes.len()];
+        for (tid, &lane_id) in order.iter().enumerate() {
+            tid_of[lane_id] = tid as u32;
+        }
         let mut out = String::with_capacity(1024 + events.len() * 96);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"");
         out.push_str(TRACE_SCHEMA);
@@ -66,15 +78,15 @@ impl Tracer {
         out.push_str(&format!(
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"args\":{{\"name\":\"cubesfc\"}}}}"
         ));
-        for (id, name) in lanes.iter().enumerate() {
+        for (tid, &lane_id) in order.iter().enumerate() {
             sep(&mut out);
             out.push_str(&format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{id},\"args\":{{\"name\":\"{}\"}}}}",
-                escape(name)
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                escape(&lanes[lane_id])
             ));
             sep(&mut out);
             out.push_str(&format!(
-                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{id},\"args\":{{\"sort_index\":{id}}}}}"
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}"
             ));
         }
 
@@ -85,7 +97,7 @@ impl Tracer {
                     out.push_str(&format!(
                         "{{\"name\":\"{}\",\"ph\":\"B\",\"pid\":{PID},\"tid\":{},\"ts\":{}",
                         escape(&ev.name),
-                        ev.lane,
+                        tid_of[ev.lane as usize],
                         ts_us(ev.ts_ns)
                     ));
                     push_args(&mut out, &ev.args);
@@ -94,7 +106,7 @@ impl Tracer {
                 EventKind::End => {
                     out.push_str(&format!(
                         "{{\"ph\":\"E\",\"pid\":{PID},\"tid\":{},\"ts\":{}}}",
-                        ev.lane,
+                        tid_of[ev.lane as usize],
                         ts_us(ev.ts_ns)
                     ));
                 }
@@ -102,7 +114,7 @@ impl Tracer {
                     out.push_str(&format!(
                         "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{PID},\"tid\":{},\"ts\":{}",
                         escape(&ev.name),
-                        ev.lane,
+                        tid_of[ev.lane as usize],
                         ts_us(ev.ts_ns)
                     ));
                     push_args(&mut out, &ev.args);
@@ -203,6 +215,53 @@ mod tests {
             .unwrap();
         assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
         assert_eq!(instant.get("ts").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn tids_follow_lane_name_order_not_registration_order() {
+        let tracer = Tracer::with_clock(Arc::new(MockClock::new()));
+        // Register out of name order, as racing rank threads would.
+        let z = tracer.lane("rank 2");
+        let a = tracer.lane("dss");
+        let m = tracer.lane("rank 0");
+        z.instant("on-z", &[]);
+        a.instant("on-a", &[]);
+        m.instant("on-m", &[]);
+
+        let doc = parse(&tracer.export_chrome()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // thread_name metadata appears in sorted name order with tids
+        // 0, 1, 2 matching sort_index.
+        let named: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .map(|e| {
+                (
+                    e.get("tid").unwrap().as_u64().unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(named, vec![(0, "dss"), (1, "rank 0"), (2, "rank 2")]);
+        // Events point at the sorted tids.
+        let tid_for = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .unwrap()
+                .get("tid")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert_eq!(tid_for("on-a"), 0);
+        assert_eq!(tid_for("on-m"), 1);
+        assert_eq!(tid_for("on-z"), 2);
     }
 
     #[test]

@@ -206,6 +206,10 @@ impl Tracer {
 
     fn record(&self, lane: u32, kind: EventKind, name: &str, args: &[(&str, u64)]) {
         let ts_ns = self.inner.clock.now_ns();
+        self.record_at(lane, kind, name, ts_ns, args);
+    }
+
+    fn record_at(&self, lane: u32, kind: EventKind, name: &str, ts_ns: u64, args: &[(&str, u64)]) {
         self.with_shard(|s| {
             // Build the owned event only after the capacity check so a
             // saturated buffer costs no allocation per dropped event.
@@ -343,6 +347,36 @@ impl Lane {
         }
     }
 
+    /// Record a complete slice with explicit timestamps, bypassing the
+    /// tracer's clock. This is how *modelled* timelines are written: a
+    /// simulator that knows each virtual rank's compute/wait seconds can
+    /// lay them out on a deterministic synthetic time axis, so the trace
+    /// (and everything replayed from it) is byte-identical at a fixed
+    /// seed. `end_ns` must not precede `start_ns`.
+    pub fn slice_at(&self, name: &str, start_ns: u64, end_ns: u64, args: &[(&str, u64)]) {
+        debug_assert!(end_ns >= start_ns, "slice_at: end before start");
+        if let Some(t) = &self.tracer {
+            t.record_at(self.id, EventKind::Begin, name, start_ns, args);
+            t.record_at(self.id, EventKind::End, "", end_ns.max(start_ns), &[]);
+        }
+    }
+
+    /// Open a slice at an explicit timestamp without closing it —
+    /// deliberately unbalanced, for modelling streams whose tail was
+    /// truncated away.
+    pub fn begin_at(&self, name: &str, start_ns: u64, args: &[(&str, u64)]) {
+        if let Some(t) = &self.tracer {
+            t.record_at(self.id, EventKind::Begin, name, start_ns, args);
+        }
+    }
+
+    /// Record a zero-duration mark at an explicit timestamp.
+    pub fn instant_at(&self, name: &str, ts_ns: u64, args: &[(&str, u64)]) {
+        if let Some(t) = &self.tracer {
+            t.record_at(self.id, EventKind::Instant, name, ts_ns, args);
+        }
+    }
+
     /// RAII slice: begins now, ends when the guard drops.
     pub fn span(&self, name: &str) -> LaneSpan {
         self.span_with(name, &[])
@@ -390,6 +424,30 @@ mod tests {
         assert_eq!(evs[1].ts_ns, 100);
         assert_eq!(evs[2].kind, EventKind::Instant);
         assert_eq!(evs[2].ts_ns, 105);
+    }
+
+    #[test]
+    fn explicit_timestamp_slices_ignore_the_clock() {
+        let clock = Arc::new(MockClock::new());
+        clock.advance(1_000_000);
+        let tracer = Tracer::with_clock(clock);
+        let lane = tracer.lane("rank 0");
+        lane.slice_at("compute", 10, 25, &[("elements", 4)]);
+        lane.slice_at("wait", 25, 25, &[]); // zero-duration is legal
+        lane.instant_at("mark", 30, &[]);
+        let evs = tracer.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(
+            evs.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![10, 25, 25, 25, 30]
+        );
+        assert_eq!(evs[0].kind, EventKind::Begin);
+        assert_eq!(evs[1].kind, EventKind::End);
+        // The stable sort keeps the zero-duration begin/end ordered.
+        assert_eq!(evs[2].kind, EventKind::Begin);
+        assert_eq!(evs[2].name, "wait");
+        assert_eq!(evs[3].kind, EventKind::End);
+        assert_eq!(evs[4].kind, EventKind::Instant);
     }
 
     #[test]

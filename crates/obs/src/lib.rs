@@ -29,6 +29,7 @@
 //! ~1ns (and allocate nothing) when unused. Explicit [`Registry`] and
 //! [`Tracer`] instances (used in tests and embedders) always record.
 
+mod analysis;
 mod chrome;
 mod clock;
 mod compare;
@@ -41,6 +42,11 @@ mod snapshot;
 mod telemetry;
 mod value;
 
+pub use analysis::{
+    analyze_doc, analyze_trace, compare_analyses, AnalysisCompare, AnalysisDelta, AnalyzeConfig,
+    CommModel, CriticalPath, Imbalance, LaneTimeline, RankSummary, Slice, Straggler, TraceAnalysis,
+    ANALYSIS_SCHEMA,
+};
 pub use chrome::TRACE_SCHEMA;
 pub use clock::{Clock, MockClock, MonotonicClock};
 pub use compare::{compare_profiles, CompareConfig, CompareReport, Delta, DeltaStatus};

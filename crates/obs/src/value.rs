@@ -84,6 +84,10 @@ impl JsonValue {
 }
 
 /// Parse a complete JSON document (trailing garbage is an error).
+///
+/// Errors carry a 1-based `line L, column C` position so a replay tool
+/// can point at the offending spot in a multi-line document (the CLI's
+/// exit-2 diagnostics depend on this format).
 pub fn parse(input: &str) -> Result<JsonValue, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -92,7 +96,7 @@ pub fn parse(input: &str) -> Result<JsonValue, String> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
+        return Err(p.err("trailing garbage"));
     }
     Ok(v)
 }
@@ -103,6 +107,21 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
+    /// 1-based (line, column) of the current position. Columns count
+    /// bytes, which matches how editors address ASCII JSON documents.
+    fn line_col(&self) -> (usize, usize) {
+        let upto = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+        (line, col)
+    }
+
+    /// `msg` decorated with the current `line L, column C` position.
+    fn err(&self, msg: impl std::fmt::Display) -> String {
+        let (line, col) = self.line_col();
+        format!("{msg} at line {line}, column {col}")
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
@@ -114,12 +133,11 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
+            Err(self.err(format!(
+                "expected '{}', found {:?}",
                 c as char,
-                self.pos,
                 self.bytes.get(self.pos).map(|&b| b as char)
-            ))
+            )))
         }
     }
 
@@ -128,7 +146,7 @@ impl Parser<'_> {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.err("invalid literal"))
         }
     }
 
@@ -142,11 +160,7 @@ impl Parser<'_> {
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.literal("null", JsonValue::Null),
             Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|&b| b as char),
-                self.pos
-            )),
+            other => Err(self.err(format!("unexpected {:?}", other.map(|&b| b as char)))),
         }
     }
 
@@ -172,11 +186,10 @@ impl Parser<'_> {
                     return Ok(JsonValue::Obj(map));
                 }
                 other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, found {:?}",
-                        self.pos,
+                    return Err(self.err(format!(
+                        "expected ',' or '}}', found {:?}",
                         other.map(|&b| b as char)
-                    ))
+                    )))
                 }
             }
         }
@@ -200,11 +213,10 @@ impl Parser<'_> {
                     return Ok(JsonValue::Arr(items));
                 }
                 other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, found {:?}",
-                        self.pos,
+                    return Err(self.err(format!(
+                        "expected ',' or ']', found {:?}",
                         other.map(|&b| b as char)
-                    ))
+                    )))
                 }
             }
         }
@@ -215,7 +227,7 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".into()),
+                None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -235,7 +247,7 @@ impl Parser<'_> {
                             let hex = self
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
                                 std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                                 16,
@@ -247,11 +259,9 @@ impl Parser<'_> {
                             self.pos += 4;
                         }
                         other => {
-                            return Err(format!(
-                                "bad escape {:?} at byte {}",
-                                other.map(|&b| b as char),
-                                self.pos
-                            ))
+                            return Err(
+                                self.err(format!("bad escape {:?}", other.map(|&b| b as char)))
+                            )
                         }
                     }
                     self.pos += 1;
@@ -310,7 +320,7 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(JsonValue::Float)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
+            .map_err(|e| self.err(format!("bad number {text:?}: {e}")))
     }
 }
 
@@ -386,6 +396,20 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "{\"a\" 1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // The comma is missing on line 2, column 10 (the second key's
+        // opening quote).
+        let err = parse("{\n  \"a\": 1 \"b\": 2\n}").unwrap_err();
+        assert!(err.contains("line 2, column 10"), "{err}");
+        // Truncation points past the last byte of the last line.
+        let err = parse("{\"a\":\n[1,").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        // Single-line documents report line 1.
+        let err = parse("tru").unwrap_err();
+        assert!(err.contains("line 1, column 1"), "{err}");
     }
 
     #[test]

@@ -81,6 +81,15 @@ impl MachineModel {
     pub fn percent_of_peak(&self, flops: f64) -> f64 {
         flops / self.peak_flops * 100.0
     }
+
+    /// The `(α, β)` cost terms of the worst-case (inter-node) route:
+    /// per-message latency in seconds and bandwidth in bytes/s. This is
+    /// the pair trace-analysis tools use to price an observed message
+    /// and byte volume without re-deriving rank-to-node placement.
+    #[inline]
+    pub fn alpha_beta(&self) -> (f64, f64) {
+        (self.latency_inter, self.bandwidth_inter)
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +128,17 @@ mod tests {
         assert!(t2 > t1);
         // Latency floor.
         assert!(t1 >= m.latency_inter);
+    }
+
+    #[test]
+    fn alpha_beta_exposes_the_inter_node_route() {
+        let m = MachineModel::ncar_p690();
+        let (alpha, beta) = m.alpha_beta();
+        assert_eq!(alpha, m.latency_inter);
+        assert_eq!(beta, m.bandwidth_inter);
+        // One inter-node message priced by α/β matches message_time.
+        let bytes = 4096.0;
+        assert!((alpha + bytes / beta - m.message_time(0, 9, bytes)).abs() < 1e-12);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod faults;
 pub mod planner;
 pub mod policy;
 pub mod rebalance;
@@ -36,6 +37,10 @@ pub mod sim;
 pub mod trajectory;
 
 pub use error::BalanceError;
+pub use faults::{
+    ChaosReport, Checkpoint, FaultConfig, FaultEvent, FaultKind, FaultSchedule, RecoveryAction,
+    RecoveryConfig, RecoveryEngine, RecoveryStrategy, CHAOS_SCHEMA, CHECKPOINT_SCHEMA,
+};
 pub use planner::{MigrationPlan, Transfer};
 pub use policy::{migration_seconds, Decision, PolicyEngine, PolicyInput, RebalancePolicy};
 pub use rebalance::{IncrementalSfc, Repartitioner};

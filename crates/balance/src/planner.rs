@@ -62,7 +62,33 @@ impl MigrationPlan {
             .map(|&p| relabel[p as usize])
             .collect();
         let target = Partition::new(nparts, target_assign);
+        Self::build(old, target, bytes_per_elem)
+    }
 
+    /// Plan the migration onto an already-labeled `target` partition.
+    ///
+    /// Unlike [`MigrationPlan::new`], the target's labels are taken as
+    /// authoritative — no overlap relabeling happens. The fault-recovery
+    /// path needs this: a capacity-aware re-split after a rank death
+    /// already names final ranks, and relabeling by maximum overlap
+    /// could map a surviving part back onto the dead rank's label.
+    pub fn from_target(
+        old: &Partition,
+        target: &Partition,
+        bytes_per_elem: f64,
+    ) -> Result<MigrationPlan, BalanceError> {
+        let _phase = begin_phase("plan");
+        let nparts = old.nparts().max(target.nparts());
+        let target = Partition::new(nparts, target.assignment().to_vec());
+        Self::build(old, target, bytes_per_elem)
+    }
+
+    fn build(
+        old: &Partition,
+        target: Partition,
+        bytes_per_elem: f64,
+    ) -> Result<MigrationPlan, BalanceError> {
+        let nparts = target.nparts();
         // flows[(src, dst)] built rank-major so manifests come out sorted.
         let mut moved_elems = 0usize;
         let mut sends: Vec<Vec<Transfer>> = vec![Vec::new(); nparts];
@@ -243,6 +269,29 @@ mod tests {
         let new = part(2, &[0, 1, 1]);
         let err = MigrationPlan::new(&old, &new, 1.0).unwrap_err();
         assert!(matches!(err, BalanceError::Migration(_)));
+    }
+
+    #[test]
+    fn from_target_keeps_labels_authoritative() {
+        // Dead rank 1 evacuated by a capacity-zeroed re-split: every
+        // element lands on rank 0 and label 1 must stay empty. Overlap
+        // relabeling is free to renumber parts, which could resurrect
+        // the dead label; from_target executes the labels as given.
+        let old = part(2, &[0, 0, 1, 1]);
+        let target = part(2, &[0, 0, 0, 0]);
+        let plan = MigrationPlan::from_target(&old, &target, 5.0).unwrap();
+        assert_eq!(plan.target.assignment(), target.assignment());
+        assert_eq!(plan.moved_elems, 2);
+        assert_eq!(plan.moved_bytes, 10.0);
+        assert!(plan.sends[1].iter().any(|t| t.peer == 0));
+        assert!(plan.recvs[1].is_empty(), "dead rank receives nothing");
+
+        // Swapped labels: new() would cancel the swap, from_target
+        // executes it literally.
+        let old = part(2, &[0, 0, 1, 1]);
+        let swapped = part(2, &[1, 1, 0, 0]);
+        let plan = MigrationPlan::from_target(&old, &swapped, 1.0).unwrap();
+        assert_eq!(plan.moved_elems, 4);
     }
 
     #[test]

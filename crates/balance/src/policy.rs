@@ -123,12 +123,30 @@ impl PolicyEngine {
     /// re-arms the trigger for the next excursion, while a futile one
     /// leaves it disarmed so a stuck-high load is not rebalanced every
     /// step to no effect.
+    ///
+    /// Non-finite samples are skipped outright: a NaN `lb_after` (e.g.
+    /// from a zero-load step) fails every comparison, so without the
+    /// explicit guard it would silently never re-arm the trigger.
     pub fn observe(&mut self, lb_after: f64) {
+        if !lb_after.is_finite() {
+            return;
+        }
         if let RebalancePolicy::Threshold { rearm, .. } = self.policy {
             if !self.armed && lb_after < rearm {
                 self.armed = true;
             }
         }
+    }
+
+    /// Whether the trigger is currently armed (checkpointed so a
+    /// restored run resumes with identical hysteresis state).
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Restore the arming state (checkpoint/restore path).
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
     }
 
     /// Decide for one step. For the cost-benefit policy, `candidate`
@@ -149,12 +167,18 @@ impl PolicyEngine {
         };
         match self.policy {
             RebalancePolicy::Threshold { trigger, rearm } => {
-                if !self.armed && lb < rearm {
-                    self.armed = true;
-                }
-                if self.armed && lb > trigger {
-                    decision.trigger = true;
-                    self.armed = false;
+                // A non-finite LB (NaN from a degenerate load step) is
+                // skipped explicitly: every comparison on NaN is false,
+                // so without the guard it would neither fire nor re-arm
+                // — and, worse, would silently *consume* the sample.
+                if lb.is_finite() {
+                    if !self.armed && lb < rearm {
+                        self.armed = true;
+                    }
+                    if self.armed && lb > trigger {
+                        decision.trigger = true;
+                        self.armed = false;
+                    }
                 }
             }
             RebalancePolicy::Periodic { every } => {
@@ -294,6 +318,42 @@ mod tests {
         eng.observe(0.5);
         assert!(
             !eng.decide(&input_for(2, &p, &hot, &g, &machine, &cost), None)
+                .trigger
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_not_consumed() {
+        let g = tiny_graph(4);
+        let p = Partition::new(2, vec![0, 0, 1, 1]);
+        let machine = MachineModel::ncar_p690();
+        let cost = CostModel::seam_climate();
+        let mut eng = PolicyEngine::new(RebalancePolicy::Threshold {
+            trigger: 0.2,
+            rearm: 0.1,
+        });
+        let hot = vec![3.0, 1.0, 1.0, 1.0];
+        assert!(
+            eng.decide(&input_for(0, &p, &hot, &g, &machine, &cost), None)
+                .trigger
+        );
+        assert!(!eng.armed(), "fired and disarmed");
+        // A NaN post-action LB must not re-arm...
+        eng.observe(f64::NAN);
+        assert!(!eng.armed());
+        // ...and must not block a later genuine recovery from re-arming.
+        eng.observe(0.05);
+        assert!(eng.armed());
+        // A NaN weight poisons the decide-path LB (the per-part sum is
+        // NaN even though the finite-max filter survives): the engine
+        // must treat the step as a no-op, keeping its arming state.
+        let poisoned = vec![f64::NAN, 1.0, 1.0, 1.0];
+        let d = eng.decide(&input_for(1, &p, &poisoned, &g, &machine, &cost), None);
+        assert!(!d.trigger, "NaN LB never fires");
+        assert!(eng.armed(), "NaN LB must not consume the armed state");
+        // The next finite excursion still fires.
+        assert!(
+            eng.decide(&input_for(2, &p, &hot, &g, &machine, &cost), None)
                 .trigger
         );
     }

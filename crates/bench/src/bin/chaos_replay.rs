@@ -1,0 +1,112 @@
+//! **Extension E-X8** — chaos replay at acceptance scale.
+//!
+//! Drives the 50-step AMR-hotspot trajectory at the paper's production
+//! point (Ne = 16, K = 1536, 64 processors) through the incremental SFC
+//! rebalancer under a seeded fault schedule — a permanent rank death, a
+//! transient stall, a slowdown window, and a burst of random transient
+//! faults — and checks the fault-tolerance acceptance criteria:
+//!
+//! 1. every injected fault is either recovered or the run degrades
+//!    gracefully (no unrecovered fault, chaos gate passes),
+//! 2. after the death the surviving ranks own every element (the chaos
+//!    report's conservation check), and
+//! 3. the whole faulted run is byte-deterministic: a second replay
+//!    produces the identical `cubesfc-chaos-v1` document.
+//!
+//! Exits nonzero if any criterion is violated, so CI can pin it.
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin chaos_replay
+//! ```
+
+use cubesfc::balance::{
+    run_rebalance, ChaosReport, FaultConfig, FaultSchedule, IncrementalSfc, LoadModel,
+    RebalancePolicy, RecoveryConfig, SimConfig, TrajectoryKind,
+};
+use cubesfc::{partition_curve, CostModel, MachineModel, MeshCache};
+use std::process::ExitCode;
+
+const NE: usize = 16;
+const NPROC: usize = 64;
+const STEPS: usize = 50;
+const SPEC: &str = "death:17@25; stall:4@9x0.2; slow:30@12..40x3.0; random:3@2003";
+
+fn replay() -> (ChaosReport, String) {
+    let cache = MeshCache::new();
+    let bundle = cache.bundle(NE);
+    let curve = bundle.mesh.curve_required().unwrap().clone();
+    let kind = TrajectoryKind::named("amr", STEPS).unwrap();
+    let model = LoadModel::from_mesh(&bundle.mesh, kind);
+    let schedule = FaultSchedule::parse(SPEC, NPROC, STEPS).unwrap();
+    let config = SimConfig {
+        steps: STEPS,
+        nproc: NPROC,
+        machine: MachineModel::ncar_p690(),
+        cost: CostModel::seam_climate(),
+        faults: Some(FaultConfig {
+            schedule,
+            recovery: RecoveryConfig {
+                checkpoint_every: 2,
+                ..RecoveryConfig::default()
+            },
+        }),
+        resume: None,
+    };
+    let initial = partition_curve(&curve, NPROC).unwrap();
+    let mut backend = IncrementalSfc::new(curve);
+    let report = run_rebalance(
+        &bundle.graph,
+        &model,
+        &mut backend,
+        RebalancePolicy::Threshold {
+            trigger: 0.05,
+            rearm: 0.025,
+        },
+        initial,
+        &config,
+    )
+    .unwrap();
+    let chaos = report.chaos.expect("fault schedule set, chaos expected");
+    let json = chaos.to_json();
+    (chaos, json)
+}
+
+fn main() -> ExitCode {
+    let (chaos, json) = replay();
+    print!("{}", chaos.render_table());
+
+    let mut failed = false;
+    if chaos.unrecovered() > 0 {
+        eprintln!("FAIL: {} fault(s) unrecovered", chaos.unrecovered());
+        failed = true;
+    }
+    if !chaos.conserved {
+        eprintln!(
+            "FAIL: conservation violated ({} of {} elements on survivors)",
+            chaos.survivor_elems, chaos.nelems
+        );
+        failed = true;
+    }
+    if chaos.degraded_ranks != vec![17] {
+        eprintln!(
+            "FAIL: degraded ranks {:?}, expected [17]",
+            chaos.degraded_ranks
+        );
+        failed = true;
+    }
+
+    let (_, again) = replay();
+    if again != json {
+        eprintln!("FAIL: chaos report not byte-deterministic across replays");
+        failed = true;
+    } else {
+        println!("replay: byte-identical across runs ({} bytes)", json.len());
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("chaos replay: all acceptance criteria hold");
+        ExitCode::SUCCESS
+    }
+}

@@ -52,6 +52,8 @@ fn run(path: &str) -> Result<usize, String> {
         nproc,
         machine: MachineModel::ncar_p690(),
         cost: CostModel::seam_climate(),
+        faults: None,
+        resume: None,
     };
     let mut policy = RebalancePolicy::named("periodic").expect("periodic policy");
     if let RebalancePolicy::Periodic { every } = &mut policy {

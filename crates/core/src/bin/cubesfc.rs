@@ -10,6 +10,9 @@
 //! cubesfc rebalance --ne 16 --nproc 64 --steps 50 --trajectory amr
 //!                   [--policy threshold|periodic|costbenefit] [--method sfc|kway|...]
 //!                   [--every N] [--trigger LB] [--horizon N] [--json FILE]
+//!                   [--faults SPEC] [--chaos-json FILE] [--checkpoint[=PATH]]
+//!                   [--checkpoint-every N] [--resume PATH.json]
+//! cubesfc chaos FILE.json [--report-only]
 //! cubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]
 //! cubesfc telemetry report FILE.ndjson [--report-only]
 //! cubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]
@@ -21,6 +24,20 @@
 //! `--method sfc` re-splits the global curve incrementally, any other
 //! method recomputes from scratch each trigger. The per-step table goes
 //! to stdout; `--json FILE` writes the `cubesfc-rebalance-v1` report.
+//!
+//! `--faults SPEC` injects a deterministic fault schedule into the
+//! rebalance loop (rank slowdowns, transient stalls, permanent rank
+//! deaths, message delay/loss; grammar `death:R@S; slow:R@A..BxF;
+//! stall:R@SxT; delay:R@SxT; loss:R@S; random:N@SEED`), recovered by
+//! retry-with-backoff, checkpoint/restore, or graceful degradation onto
+//! the surviving ranks. `--chaos-json FILE` writes the resulting
+//! `cubesfc-chaos-v1` report; `--checkpoint[=PATH]` writes a
+//! `cubesfc-checkpoint-v1` snapshot every `--checkpoint-every` rebalance
+//! triggers (the last one wins); `--resume PATH` restarts a run from
+//! such a snapshot, reproducing the uninterrupted run's remaining steps
+//! byte for byte. `chaos FILE.json` replays a chaos report and exits 1
+//! when any fault went unrecovered or element conservation failed
+//! (`--report-only` keeps exit 0).
 //!
 //! `experiment` runs the paper's full (K, Nproc, method) grid — every
 //! method at the equal-share processor counts of every Table-1
@@ -117,6 +134,16 @@ struct Args {
     trigger: Option<f64>,
     /// Override the cost-benefit policy's horizon.
     horizon: Option<usize>,
+    /// Fault-injection spec for `rebalance` (`--faults SPEC`).
+    faults: Option<String>,
+    /// Checkpoint output path (`--checkpoint[=PATH]`).
+    checkpoint: Option<String>,
+    /// Checkpoint cadence in rebalance triggers.
+    checkpoint_every: usize,
+    /// Checkpoint to resume from (`--resume PATH`).
+    resume: Option<String>,
+    /// Chaos report JSON output path for `rebalance`.
+    chaos_json: Option<String>,
 }
 
 /// What to do with the profile when the command finishes.
@@ -147,6 +174,11 @@ fn usage() -> ExitCode {
          \t  [--trajectory amr|diurnal|fault|uniform]\n\
          \t  [--policy threshold|periodic|costbenefit] [--method sfc|kway|tv|rb]\n\
          \t  [--every N] [--trigger LB] [--horizon N] [--json FILE] [--seed N]\n\
+         \t  [--faults SPEC] [--chaos-json FILE] [--checkpoint[=PATH]]\n\
+         \t  [--checkpoint-every N] [--resume PATH.json]\n\
+         \t  (SPEC: 'death:R@S; slow:R@A..BxF; stall:R@SxT; delay:R@SxT;\n\
+         \t         loss:R@S; random:N@SEED' — ranks R, steps S/A/B, factor F)\n\
+         \tcubesfc chaos FILE.json [--report-only]\n\
          \tcubesfc compare OLD.json NEW.json [--threshold PCT] [--report-only]\n\
          \tcubesfc telemetry report FILE.ndjson [--report-only]\n\
          \tcubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]\n\
@@ -185,6 +217,11 @@ fn parse_args() -> Result<Args, String> {
         every: None,
         trigger: None,
         horizon: None,
+        faults: None,
+        checkpoint: None,
+        checkpoint_every: 1,
+        resume: None,
+        chaos_json: None,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -309,6 +346,34 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--horizon: {e}"))?,
                 )
             }
+            "--faults" => {
+                let s = it.next().ok_or("--faults needs a spec")?;
+                if s.is_empty() {
+                    return Err("--faults needs a non-empty spec".into());
+                }
+                args.faults = Some(s);
+            }
+            "--checkpoint" => args.checkpoint = Some("cubesfc-checkpoint.json".to_string()),
+            "--checkpoint-every" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                args.checkpoint_every = n;
+            }
+            "--resume" => args.resume = Some(it.next().ok_or("--resume needs a path")?),
+            "--chaos-json" => args.chaos_json = Some(it.next().ok_or("--chaos-json needs a path")?),
+            other if other.starts_with("--checkpoint=") => {
+                let p = &other["--checkpoint=".len()..];
+                if p.is_empty() {
+                    return Err("--checkpoint= needs a non-empty path".into());
+                }
+                args.checkpoint = Some(p.to_string());
+            }
             other if other.starts_with("--telemetry=") => {
                 let p = &other["--telemetry=".len()..];
                 if p.is_empty() {
@@ -334,6 +399,11 @@ fn parse_args() -> Result<Args, String> {
         "trace" => {
             if args.paths.len() != 2 || args.paths[0] != "analyze" {
                 return Err("trace needs a subcommand: trace analyze FILE.json".into());
+            }
+        }
+        "chaos" => {
+            if args.paths.len() != 1 {
+                return Err("chaos needs exactly one report path: chaos FILE.json".into());
             }
         }
         _ => {
@@ -458,13 +528,16 @@ fn emit(path: &Option<String>, bytes: &[u8]) -> Result<(), String> {
     }
 }
 
-/// A replay-command failure, split by exit code. `Runtime` exits 1
-/// (missing file, wrong schema, a tripped regression gate); `Malformed`
+/// A command failure, split by exit code. `Runtime` exits 1 (missing
+/// file, wrong schema, a tripped regression or chaos gate); `Malformed`
 /// exits 2 with the parser's line/column diagnostic — input that is not
-/// JSON at all is a usage-class problem, like a mistyped flag.
+/// JSON at all is a usage-class problem, like a mistyped flag; `Usage`
+/// exits 2 with the usage text, for argument combinations that can
+/// never be valid (a degenerate `--nproc`, for instance).
 enum CliError {
     Runtime(String),
     Malformed(String),
+    Usage(String),
 }
 
 impl From<String> for CliError {
@@ -643,14 +716,11 @@ fn run_experiment(args: &Args) -> Result<(), String> {
 /// printing the per-step table and optionally writing the JSON report.
 fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
     use cubesfc::balance::{
-        run_rebalance, IncrementalSfc, LoadModel, RebalancePolicy, Repartitioner, SimConfig,
-        TrajectoryKind,
+        run_rebalance, Checkpoint, FaultConfig, FaultSchedule, IncrementalSfc, LoadModel,
+        RebalancePolicy, RecoveryConfig, Repartitioner, SimConfig, TrajectoryKind,
     };
     use cubesfc::{MeshCache, MethodRepartitioner};
 
-    if args.nproc == 0 {
-        return Err("--nproc is required".into());
-    }
     let kind = TrajectoryKind::named(&args.trajectory, args.steps).ok_or(format!(
         "unknown trajectory '{}' (expected amr, diurnal, fault, or uniform)",
         args.trajectory
@@ -678,6 +748,36 @@ fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
         }
     }
 
+    // Fault injection and recovery: `--faults` names the schedule,
+    // `--checkpoint[=PATH]` arms periodic checkpointing (cadence in
+    // triggers via `--checkpoint-every`), `--resume` restarts from a
+    // previously written checkpoint.
+    let faults = if args.faults.is_some() || args.checkpoint.is_some() || args.resume.is_some() {
+        let schedule = match &args.faults {
+            Some(spec) => FaultSchedule::parse(spec, args.nproc, args.steps)
+                .map_err(|e| format!("--faults: {e}"))?,
+            None => FaultSchedule::default(),
+        };
+        let recovery = RecoveryConfig {
+            checkpoint_every: if args.checkpoint.is_some() {
+                args.checkpoint_every
+            } else {
+                0
+            },
+            ..RecoveryConfig::default()
+        };
+        Some(FaultConfig { schedule, recovery })
+    } else {
+        None
+    };
+    let resume = match &args.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(Checkpoint::from_json(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+
     let cache = MeshCache::new();
     let bundle = cache.bundle(args.ne);
     let model = LoadModel::from_mesh(&bundle.mesh, kind);
@@ -686,6 +786,8 @@ fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
         nproc: args.nproc,
         machine: MachineModel::ncar_p690(),
         cost: CostModel::seam_climate(),
+        faults,
+        resume,
     };
 
     // The SFC method rebalances incrementally on its fixed curve; the
@@ -717,8 +819,42 @@ fn run_rebalance_cmd(args: &Args) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     print!("{}", report.render_table());
+    if let Some(chaos) = &report.chaos {
+        print!("{}", chaos.render_table());
+        if let Some(path) = &args.chaos_json {
+            std::fs::write(path, chaos.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    if let Some(path) = &args.checkpoint {
+        if let Some(ck) = report.checkpoints.last() {
+            std::fs::write(path, ck.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
     if let Some(path) = &args.json {
         std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Replay a `cubesfc-chaos-v1` report: render the fault/recovery table
+/// and gate on it — `Err` (exit 1) when any fault went unrecovered or
+/// element conservation failed, unless `--report-only` was given.
+fn run_chaos(args: &Args) -> Result<(), CliError> {
+    let path = &args.paths[0];
+    let (text, _) = read_doc(path)?;
+    let report = cubesfc::balance::ChaosReport::from_json(&text)
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    print!("{}", report.render_table());
+    if !report.passed() && !args.report_only {
+        let mut reasons = Vec::new();
+        let unrecovered = report.unrecovered();
+        if unrecovered > 0 {
+            reasons.push(format!("{unrecovered} fault(s) unrecovered"));
+        }
+        if !report.conserved {
+            reasons.push("element conservation violated".to_string());
+        }
+        return Err(format!("{path}: {}", reasons.join(", ")).into());
     }
     Ok(())
 }
@@ -733,16 +869,41 @@ fn run(args: Args) -> Result<(), CliError> {
     if args.command == "trace" {
         return run_trace_analyze(&args);
     }
-    run_mesh_command(args).map_err(CliError::Runtime)
+    if args.command == "chaos" {
+        return run_chaos(&args);
+    }
+    run_mesh_command(args)
 }
 
-fn run_mesh_command(args: Args) -> Result<(), String> {
+fn run_mesh_command(args: Args) -> Result<(), CliError> {
     if args.command == "experiment" {
-        return run_experiment(&args);
+        return run_experiment(&args).map_err(CliError::Runtime);
+    }
+    // A processor count of zero, or more processors than elements, can
+    // never describe a valid run for any method: reject it up front as
+    // a usage error (exit 2) rather than letting a backend fail late.
+    if matches!(
+        args.command.as_str(),
+        "partition" | "report" | "render" | "rebalance"
+    ) {
+        let k = 6 * args.ne * args.ne;
+        if args.nproc == 0 {
+            return Err(CliError::Usage("--nproc must be at least 1".into()));
+        }
+        if args.nproc > k {
+            return Err(CliError::Usage(format!(
+                "--nproc {} exceeds the element count K = {k} (Ne = {})",
+                args.nproc, args.ne
+            )));
+        }
     }
     if args.command == "rebalance" {
-        return run_rebalance_cmd(&args);
+        return run_rebalance_cmd(&args).map_err(CliError::Runtime);
     }
+    run_static_command(args).map_err(CliError::Runtime)
+}
+
+fn run_static_command(args: Args) -> Result<(), String> {
     let mesh = CubedSphere::new(args.ne);
     let mut opts = PartitionOptions::default();
     opts.graph_config.seed = args.seed;
@@ -769,9 +930,6 @@ fn run_mesh_command(args: Args) -> Result<(), String> {
             Ok(())
         }
         "partition" => {
-            if args.nproc == 0 {
-                return Err("--nproc is required".into());
-            }
             let p = partition(&mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
             if cubesfc_obs::trace_enabled() || cubesfc_obs::telemetry_enabled() {
                 trace_mini_solve(&mesh, &p);
@@ -783,9 +941,6 @@ fn run_mesh_command(args: Args) -> Result<(), String> {
             emit(&args.output, out.as_bytes())
         }
         "report" => {
-            if args.nproc == 0 {
-                return Err("--nproc is required".into());
-            }
             let machine = MachineModel::ncar_p690();
             let cost = CostModel::seam_climate();
             println!("{}", PartitionReport::table_header());
@@ -798,9 +953,6 @@ fn run_mesh_command(args: Args) -> Result<(), String> {
             Ok(())
         }
         "render" => {
-            if args.nproc == 0 {
-                return Err("--nproc is required".into());
-            }
             let p = partition(&mesh, args.method, args.nproc, &opts).map_err(|e| e.to_string())?;
             if args.ascii {
                 emit(&args.output, render_partition_ascii(&mesh, &p).as_bytes())
@@ -878,6 +1030,10 @@ fn main() -> ExitCode {
                 Err(CliError::Malformed(e)) => {
                     eprintln!("error: {e}");
                     ExitCode::from(2)
+                }
+                Err(CliError::Usage(e)) => {
+                    eprintln!("error: {e}");
+                    usage()
                 }
             }
         }

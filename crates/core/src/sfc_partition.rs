@@ -73,6 +73,12 @@ fn split_error_to_partition_error(e: SplitError) -> PartitionError {
         SplitError::ZeroTotal => PartitionError::BadWeights {
             reason: "total weight must be positive",
         },
+        SplitError::BadCapacity { .. } => PartitionError::BadWeights {
+            reason: "per-part capacities must be finite and non-negative",
+        },
+        SplitError::ZeroCapacity => PartitionError::BadWeights {
+            reason: "at least one part must have positive capacity",
+        },
     }
 }
 

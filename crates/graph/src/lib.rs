@@ -61,5 +61,5 @@ pub use migration::{
 };
 pub use partition::{Partition, PartitionConfig};
 pub use rng::SplitMix64;
-pub use split::{split_order_weighted, SplitError};
+pub use split::{split_order_weighted, split_order_weighted_capacity, SplitError};
 pub use tv::kway_volume;

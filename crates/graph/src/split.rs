@@ -37,6 +37,14 @@ pub enum SplitError {
     },
     /// The weights sum to zero (or less), so no split targets exist.
     ZeroTotal,
+    /// A per-part capacity is negative, NaN, or infinite (index of the
+    /// first offending part).
+    BadCapacity {
+        /// Index of the first bad capacity entry.
+        index: usize,
+    },
+    /// Every part has zero capacity, so no part can hold any element.
+    ZeroCapacity,
 }
 
 impl fmt::Display for SplitError {
@@ -54,6 +62,12 @@ impl fmt::Display for SplitError {
                 write!(f, "weight at element {index} is NaN or infinite")
             }
             SplitError::ZeroTotal => write!(f, "total weight must be positive"),
+            SplitError::BadCapacity { index } => {
+                write!(f, "capacity of part {index} is negative, NaN, or infinite")
+            }
+            SplitError::ZeroCapacity => {
+                write!(f, "at least one part must have positive capacity")
+            }
         }
     }
 }
@@ -100,29 +114,120 @@ pub fn split_order_weighted(
         return Err(SplitError::ZeroTotal);
     }
 
+    let targets: Vec<f64> = (0..nproc)
+        .map(|p| total * (p as f64 + 1.0) / nproc as f64)
+        .collect();
+    let assign = split_to_targets(nelems, elem_at, weights, &targets, |seg| seg as u32);
+    Ok(Partition::new(nproc, assign))
+}
+
+/// Split a visit order into segments matching per-part *capacities*.
+///
+/// The generalization of [`split_order_weighted`] used for graceful
+/// degradation: `capacities[p]` is the relative work rate of part `p`
+/// (equal capacities reproduce the uniform splitter exactly). A part
+/// with zero capacity receives **no elements** — its label survives in
+/// the returned partition (`nparts == capacities.len()`) so migration
+/// plans against the previous assignment stay well-formed, but every
+/// element it held must move. Every part with positive capacity receives
+/// at least one element when there are enough elements to go around.
+pub fn split_order_weighted_capacity(
+    nelems: usize,
+    elem_at: impl Fn(usize) -> usize,
+    capacities: &[f64],
+    weights: &[f64],
+) -> Result<Partition, SplitError> {
+    let _span = cubesfc_obs::span("slice");
+    let nproc = capacities.len();
+    if nproc == 0 {
+        return Err(SplitError::ZeroParts);
+    }
+    if let Some(index) = capacities.iter().position(|c| !c.is_finite() || *c < 0.0) {
+        return Err(SplitError::BadCapacity { index });
+    }
+    // The split runs over the *alive* (positive-capacity) parts only;
+    // dead parts keep their labels but are never assigned to.
+    let alive: Vec<usize> = (0..nproc).filter(|&p| capacities[p] > 0.0).collect();
+    if alive.is_empty() {
+        return Err(SplitError::ZeroCapacity);
+    }
+    if alive.len() > nelems {
+        return Err(SplitError::TooManyParts {
+            nproc: alive.len(),
+            nelems,
+        });
+    }
+    if weights.len() != nelems {
+        return Err(SplitError::BadLength);
+    }
+    if let Some(index) = weights.iter().position(|w| !w.is_finite()) {
+        return Err(SplitError::NonFinite { index });
+    }
+    if weights.iter().any(|&w| w < 0.0) {
+        return Err(SplitError::Negative);
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(SplitError::ZeroTotal);
+    }
+    let cap_total: f64 = alive.iter().map(|&p| capacities[p]).sum();
+
+    // Boundary targets at cumulative-capacity fractions of the total
+    // weight: part `alive[i]` should end once the running weight reaches
+    // `total · Σ_{j≤i} cap_j / Σ cap`.
+    let mut cum = 0.0f64;
+    let targets: Vec<f64> = alive
+        .iter()
+        .map(|&p| {
+            cum += capacities[p];
+            total * cum / cap_total
+        })
+        .collect();
+    let assign = split_to_targets(nelems, elem_at, weights, &targets, |seg| alive[seg] as u32);
+    Ok(Partition::new(nproc, assign))
+}
+
+/// The shared greedy sweep: walk the order, advancing to the next
+/// segment at the *nearest* prefix-sum boundary. `label(seg)` maps the
+/// segment index onto the final part label.
+///
+/// A boundary is taken when adding the current element would overshoot
+/// the segment's target by at least as much as stopping here undershoots
+/// it — comparing both `acc` and `acc + w[e]` to the target, rather than
+/// `acc` alone, which systematically overfills early segments (the last
+/// element before an `acc >= target` test can land far past the
+/// boundary). Segments never advance away from an empty segment, and a
+/// segment closes early when the remaining elements are only just enough
+/// to give one to every later segment.
+fn split_to_targets(
+    nelems: usize,
+    elem_at: impl Fn(usize) -> usize,
+    weights: &[f64],
+    targets: &[f64],
+    label: impl Fn(usize) -> u32,
+) -> Vec<u32> {
+    let nseg = targets.len();
     let mut assign = vec![0u32; nelems];
-    let mut part = 0usize;
+    let mut seg = 0usize;
     let mut acc = 0.0f64;
-    let mut count_in_part = 0usize;
+    let mut count_in_seg = 0usize;
     for rank in 0..nelems {
         let e = elem_at(rank);
         let remaining = nelems - rank; // elements still to assign, incl. this
-        let parts_after = nproc - part - 1;
-        // Advance when the running weight crossed this part's boundary —
-        // or when the remaining elements are only just enough to give one
-        // to every later part. Never advance away from an empty part.
-        let target = total * (part as f64 + 1.0) / nproc as f64;
-        let must = count_in_part > 0 && remaining == parts_after;
-        let may = count_in_part > 0 && acc >= target && remaining > parts_after;
-        if part + 1 < nproc && (must || may) {
-            part += 1;
-            count_in_part = 0;
+        let segs_after = nseg - seg - 1;
+        let target = targets[seg];
+        let must = count_in_seg > 0 && remaining == segs_after;
+        let crossed = (acc + weights[e]) - target >= target - acc;
+        let may = count_in_seg > 0 && crossed && remaining > segs_after;
+        if seg + 1 < nseg && (must || may) {
+            seg += 1;
+            count_in_seg = 0;
         }
-        assign[e] = part as u32;
-        count_in_part += 1;
+        assign[e] = label(seg);
+        count_in_seg += 1;
         acc += weights[e];
     }
-    Ok(Partition::new(nproc, assign))
+    assign
 }
 
 #[cfg(test)]
@@ -181,6 +286,102 @@ mod tests {
         assert_eq!(
             split_order_weighted(4, |r| r, 2, &[1.0, f64::NAN, 1.0, 1.0]),
             Err(SplitError::NonFinite { index: 1 })
+        );
+    }
+
+    #[test]
+    fn boundary_chooses_the_nearer_prefix() {
+        // Weights [3, 3, 1, 1], two parts, target 4. Testing `acc`
+        // against the target *before* adding the current element keeps
+        // element 1 in part 0 (acc = 3 < 4), overfilling it to load 6;
+        // the nearest-boundary rule cuts after element 0 (|3-4| < |6-4|),
+        // giving loads [3, 5] — the contiguous optimum.
+        let w = vec![3.0, 3.0, 1.0, 1.0];
+        let p = split_order_weighted(4, |r| r, 2, &w).unwrap();
+        assert_eq!(p.assignment(), &[0, 1, 1, 1]);
+        // Symmetric tail skew: [1, 1, 3, 3] cuts after element 2.
+        let w = vec![1.0, 1.0, 3.0, 3.0];
+        let p = split_order_weighted(4, |r| r, 2, &w).unwrap();
+        assert_eq!(p.assignment(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn uniform_divisible_split_is_exact() {
+        // Uniform weights with nproc | nelems must still give equal
+        // counts (the paper's LB = 0 configurations).
+        let w = vec![1.0; 24];
+        let p = split_order_weighted(24, |r| r, 6, &w).unwrap();
+        assert!(
+            p.part_sizes().iter().all(|&s| s == 4),
+            "{:?}",
+            p.part_sizes()
+        );
+    }
+
+    #[test]
+    fn capacity_split_equal_capacities_match_uniform_splitter() {
+        let mut w = vec![1.0; 16];
+        w[3] = 5.0;
+        w[11] = 2.0;
+        let a = split_order_weighted(16, |r| r, 4, &w).unwrap();
+        let b = split_order_weighted_capacity(16, |r| r, &[1.0; 4], &w).unwrap();
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn capacity_split_skews_load_toward_capacity() {
+        // Part 0 has twice the capacity of part 1: it should carry
+        // roughly twice the weight.
+        let w = vec![1.0; 12];
+        let p = split_order_weighted_capacity(12, |r| r, &[2.0, 1.0], &w).unwrap();
+        let sizes = p.part_sizes();
+        assert_eq!(sizes[0], 8, "{sizes:?}");
+        assert_eq!(sizes[1], 4, "{sizes:?}");
+    }
+
+    #[test]
+    fn zero_capacity_part_is_empty_but_keeps_its_label() {
+        let w = vec![1.0; 12];
+        let p = split_order_weighted_capacity(12, |r| r, &[1.0, 0.0, 1.0], &w).unwrap();
+        assert_eq!(p.nparts(), 3);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes[1], 0, "{sizes:?}");
+        assert_eq!(sizes[0] + sizes[2], 12);
+        // The surviving parts split the load evenly between them.
+        assert_eq!(sizes[0], 6, "{sizes:?}");
+        // Contiguity: part index along the order goes 0 then 2.
+        assert!(p.assignment().iter().all(|&q| q == 0 || q == 2));
+    }
+
+    #[test]
+    fn capacity_error_cases() {
+        let w = vec![1.0; 4];
+        assert_eq!(
+            split_order_weighted_capacity(4, |r| r, &[], &w),
+            Err(SplitError::ZeroParts)
+        );
+        assert_eq!(
+            split_order_weighted_capacity(4, |r| r, &[0.0, 0.0], &w),
+            Err(SplitError::ZeroCapacity)
+        );
+        assert_eq!(
+            split_order_weighted_capacity(4, |r| r, &[1.0, -1.0], &w),
+            Err(SplitError::BadCapacity { index: 1 })
+        );
+        assert_eq!(
+            split_order_weighted_capacity(4, |r| r, &[1.0, f64::NAN], &w),
+            Err(SplitError::BadCapacity { index: 1 })
+        );
+        assert_eq!(
+            split_order_weighted_capacity(4, |r| r, &[1.0; 5], &w),
+            Err(SplitError::TooManyParts {
+                nproc: 5,
+                nelems: 4
+            })
+        );
+        assert_eq!(
+            split_order_weighted_capacity(4, |r| r, &[1.0, 1.0], &[0.0; 4]),
+            Err(SplitError::ZeroTotal)
         );
     }
 

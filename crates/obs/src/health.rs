@@ -145,7 +145,11 @@ impl AlertEngine {
 
     /// Feed one sample's gauges; returns the names of rules that fired
     /// *on this sample*. A missing metric resets the rule's streak but
-    /// neither fires nor re-arms it.
+    /// neither fires nor re-arms it. A *non-finite* value is different:
+    /// the lane does carry the gauge, the sample is just unusable (e.g.
+    /// `lb_drift` off a zero-load step), so it is skipped without
+    /// touching the streak — resetting would let one NaN sample silence
+    /// an alert that genuine consecutive excursions should have fired.
     pub fn observe(&mut self, gauges: &BTreeMap<String, f64>) -> Vec<String> {
         let mut fired = Vec::new();
         for st in &mut self.states {
@@ -154,7 +158,6 @@ impl AlertEngine {
                 continue;
             };
             if !v.is_finite() {
-                st.streak = 0;
                 continue;
             }
             // Re-arm half of the hysteresis loop, mirroring
@@ -252,8 +255,33 @@ mod tests {
         assert!(eng.observe(&gauges(&[])).is_empty());
         assert!(eng.observe(&gauges(&[("m", 2.0)])).is_empty());
         assert_eq!(eng.observe(&gauges(&[("m", 2.0)])), vec!["r"]);
-        // NaN behaves like a missing metric.
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_without_resetting_the_streak() {
+        let mut eng = AlertEngine::new(vec![AlertRule::new("r", "m", 1.0, 2, 0.1)]);
+        // One hot sample starts the streak.
+        assert!(eng.observe(&gauges(&[("m", 2.0)])).is_empty());
+        // A NaN sample is unusable, but it is NOT a calm sample: the
+        // streak must survive it, or one degenerate step suppresses the
+        // alert indefinitely.
         assert!(eng.observe(&gauges(&[("m", f64::NAN)])).is_empty());
+        assert!(eng.observe(&gauges(&[("m", f64::INFINITY)])).is_empty());
+        // The second *finite* hot sample completes min_duration.
+        assert_eq!(eng.observe(&gauges(&[("m", 2.0)])), vec!["r"]);
+        // After firing, NaN must not re-arm either: only a genuine
+        // finite recovery below `rearm` does.
+        assert!(eng.observe(&gauges(&[("m", f64::NAN)])).is_empty());
+        assert!(
+            eng.observe(&gauges(&[("m", 2.0)])).is_empty(),
+            "still disarmed"
+        );
+        assert!(eng.observe(&gauges(&[("m", 0.05)])).is_empty());
+        assert!(
+            eng.observe(&gauges(&[("m", 2.0)])).is_empty(),
+            "streak 1 of 2"
+        );
+        assert_eq!(eng.observe(&gauges(&[("m", 2.0)])), vec!["r"]);
     }
 
     #[test]

@@ -127,6 +127,8 @@ fn telemetered_replay() -> (SimReport, Vec<TelemetrySample>, String) {
         nproc: NPROC,
         machine: MachineModel::ncar_p690(),
         cost: CostModel::seam_climate(),
+        faults: None,
+        resume: None,
     };
     let mut opts = PartitionOptions::default();
     opts.graph_config.seed = SEED;
@@ -215,4 +217,46 @@ fn alert_fires_rearms_and_fires_again_under_mock_clock() {
     // suppressed and leaves no sample behind.
     assert!(!sampler.record("sim", 99, &[("lb_measured", 0.9)], &[]));
     assert_eq!(sampler.sample_count(), script.len());
+}
+
+// ---------------------------------------------------------------------
+// 4. Non-finite gauges under a mock clock: skipped, never poisoning
+// ---------------------------------------------------------------------
+
+#[test]
+fn non_finite_gauges_are_skipped_without_poisoning_alerts_or_summary() {
+    let clock = Arc::new(MockClock::new());
+    let registry = Registry::with_clock(clock.clone());
+    let sampler = Sampler::with_clock_and_capacity(clock.clone(), registry, 64);
+    sampler.set_rules(vec![AlertRule::new("hot", "lb_measured", 0.5, 2, 0.2)]);
+    sampler.set_interval_ns(10);
+
+    // One hot sample arms the rule, a NaN lands mid-streak, the next
+    // finite hot sample completes min_duration: the NaN must neither
+    // fire the alert, reset the streak, nor re-arm it.
+    let script = [0.9, f64::NAN, 0.9, f64::INFINITY, 0.9, 0.1];
+    let mut fired_at = Vec::new();
+    for (i, &lb) in script.iter().enumerate() {
+        clock.advance(10);
+        assert!(sampler.record("sim", i as u64, &[("lb_measured", lb)], &[]));
+        let last = sampler.samples().pop().unwrap();
+        if !last.alerts.is_empty() {
+            assert_eq!(last.alerts, vec!["hot".to_string()]);
+            fired_at.push(i);
+        }
+    }
+    // Fires exactly once, at the second *finite* hot sample; the
+    // post-fire infinity keeps it silent rather than re-firing.
+    assert_eq!(fired_at, vec![2]);
+    assert_eq!(sampler.total_alerts(), 1);
+
+    // The exported stream survives its own parser (non-finite gauges
+    // serialize as null and are skipped on ingest), and the replayed
+    // summary statistics come out finite.
+    let ndjson = sampler.export_ndjson();
+    let samples = parse_telemetry(&ndjson).unwrap();
+    assert_eq!(samples.len(), script.len());
+    let summary = sampler.render_summary();
+    assert!(!summary.contains("NaN"), "{summary}");
+    assert!(!summary.contains("inf"), "{summary}");
 }

@@ -1,0 +1,385 @@
+//! `serve_loadgen` — closed-loop load generator and smoke probe for the
+//! `cubesfc serve` partitioning service (`BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run -p cubesfc-bench --release --bin serve_loadgen \
+//!     [OUT.json] [--clients N] [--requests N] [--ne NE]
+//! cargo run -p cubesfc-bench --bin serve_loadgen -- --probe HOST:PORT
+//! ```
+//!
+//! **Closed-loop mode** (default): starts an in-process server backed
+//! by the real engine, runs `--clients` threads each issuing
+//! `--requests` `POST /v1/partition` calls over a shuffled ladder of
+//! processor counts (so the run exercises cold misses, cache hits, and
+//! coalescing), and writes a `cubesfc-serve-bench-v1` document with
+//! throughput and p50/p95/p99 latency derived from log₂ histograms,
+//! plus the server's own cache/coalescing counters. The human-readable
+//! summary goes to stderr.
+//!
+//! **Probe mode** (`--probe ADDR`): exercises an already-running server
+//! — health, a partition round-trip, a malformed body (must be 400), an
+//! unknown route (404), and `/metrics` — and exits nonzero on any
+//! contract violation. CI uses this as the serve smoke gate.
+
+use cubesfc::serve::{http_request, ServeConfig, Server};
+use cubesfc::EngineBackend;
+use cubesfc_obs::{HistogramSnapshot, Registry};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Config {
+    out: String,
+    clients: usize,
+    requests: usize,
+    ne: usize,
+    probe: Option<String>,
+}
+
+fn parse_config() -> Result<Config, String> {
+    let mut cfg = Config {
+        out: "BENCH_serve.json".to_string(),
+        clients: 8,
+        requests: 40,
+        ne: 8,
+        probe: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--clients" => {
+                cfg.clients = it
+                    .next()
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                cfg.requests = it
+                    .next()
+                    .ok_or("--requests needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--ne" => {
+                cfg.ne = it
+                    .next()
+                    .ok_or("--ne needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--ne: {e}"))?
+            }
+            "--probe" => cfg.probe = Some(it.next().ok_or("--probe needs HOST:PORT")?),
+            other if !other.starts_with('-') => cfg.out = other.to_string(),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if cfg.clients == 0 || cfg.requests == 0 {
+        return Err("--clients and --requests must be positive".into());
+    }
+    Ok(cfg)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: no address"))
+}
+
+/// Exercise the serve-v1 contract against a running server; every
+/// failed expectation is printed and counted.
+fn probe(addr: SocketAddr) -> usize {
+    let mut failures = 0;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        if ok {
+            eprintln!("probe ok   : {name}");
+        } else {
+            eprintln!("probe FAIL : {name} — {detail}");
+            failures += 1;
+        }
+    };
+
+    match http_request(addr, "GET", "/healthz", None, TIMEOUT) {
+        Ok(r) => check(
+            "healthz is 200 and versioned",
+            r.status == 200 && r.body.contains("cubesfc-serve-v1"),
+            format!("status {} body {}", r.status, r.body),
+        ),
+        Err(e) => check("healthz is 200 and versioned", false, e.to_string()),
+    }
+    let body = r#"{"ne": 8, "nproc": 96, "method": "sfc"}"#;
+    match http_request(addr, "POST", "/v1/partition", Some(body), TIMEOUT) {
+        Ok(r) => check(
+            "partition round-trips",
+            r.status == 200 && r.body.contains("\"kind\":\"partition\""),
+            format!("status {} body {}", r.status, r.body),
+        ),
+        Err(e) => check("partition round-trips", false, e.to_string()),
+    }
+    match http_request(addr, "POST", "/v1/partition", Some(body), TIMEOUT) {
+        Ok(r) => check(
+            "repeated request is a cache hit",
+            r.status == 200 && r.header("x-cubesfc-cache") == Some("hit"),
+            format!(
+                "status {} cache {:?}",
+                r.status,
+                r.header("x-cubesfc-cache")
+            ),
+        ),
+        Err(e) => check("repeated request is a cache hit", false, e.to_string()),
+    }
+    match http_request(addr, "POST", "/v1/partition", Some("{not json"), TIMEOUT) {
+        Ok(r) => check(
+            "malformed body is 400",
+            r.status == 400,
+            format!("status {}", r.status),
+        ),
+        Err(e) => check("malformed body is 400", false, e.to_string()),
+    }
+    match http_request(
+        addr,
+        "POST",
+        "/v1/rebalance/step",
+        Some(r#"{"ne": 8, "nproc": 6}"#),
+        TIMEOUT,
+    ) {
+        Ok(r) => check(
+            "rebalance step round-trips",
+            r.status == 200 && r.body.contains("\"kind\":\"rebalance_step\""),
+            format!("status {} body {}", r.status, r.body),
+        ),
+        Err(e) => check("rebalance step round-trips", false, e.to_string()),
+    }
+    match http_request(addr, "GET", "/v1/unknown", None, TIMEOUT) {
+        Ok(r) => check(
+            "unknown route is 404",
+            r.status == 404,
+            format!("status {}", r.status),
+        ),
+        Err(e) => check("unknown route is 404", false, e.to_string()),
+    }
+    match http_request(addr, "GET", "/metrics", None, TIMEOUT) {
+        Ok(r) => check(
+            "metrics snapshot is served",
+            r.status == 200 && r.body.contains("cubesfc-profile-v1"),
+            format!("status {} body {:.60}", r.status, r.body),
+        ),
+        Err(e) => check("metrics snapshot is served", false, e.to_string()),
+    }
+    failures
+}
+
+fn fmt_quantiles(h: &HistogramSnapshot) -> (f64, f64, f64) {
+    (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99))
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn closed_loop(cfg: &Config) -> Result<(), String> {
+    let backend = Arc::new(EngineBackend::new());
+    let handle = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: cfg.clients.clamp(2, 16),
+            queue_capacity: (cfg.clients * 4).max(64),
+            cache_entries: 256,
+            deadline: TIMEOUT,
+        },
+        backend,
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = handle.local_addr();
+    eprintln!(
+        "serve_loadgen: {} clients x {} requests against {addr} (ne={})",
+        cfg.clients, cfg.requests, cfg.ne
+    );
+
+    // Per-client latency registries merge into one snapshot at the end;
+    // log2 buckets keep recording O(1) regardless of request count.
+    let latencies = Registry::new();
+    let nelem = 6 * cfg.ne * cfg.ne;
+    let ladder: Vec<usize> = (1..=nelem).filter(|p| nelem.is_multiple_of(*p)).collect();
+
+    let started = Instant::now();
+    let mut errors = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let latencies = &latencies;
+                let ladder = &ladder;
+                scope.spawn(move || {
+                    let mut errors = 0usize;
+                    for r in 0..cfg.requests {
+                        // Stride the ladder differently per client so
+                        // identical requests overlap (coalescing) while
+                        // the mix still spans cold and warm keys.
+                        let nproc = ladder[(c + r) % ladder.len()];
+                        let body = format!(
+                            "{{\"ne\": {}, \"nproc\": {nproc}, \"method\": \"sfc\"}}",
+                            cfg.ne
+                        );
+                        let t0 = Instant::now();
+                        let resp =
+                            http_request(addr, "POST", "/v1/partition", Some(&body), TIMEOUT);
+                        let us = t0.elapsed().as_micros() as u64;
+                        match resp {
+                            Ok(resp) if resp.status == 200 => {
+                                latencies.histogram_record("loadgen/latency_us", us);
+                                let class = match resp.header("x-cubesfc-cache") {
+                                    Some("hit") => "hit",
+                                    Some("coalesced") => "coalesced",
+                                    _ => "miss",
+                                };
+                                latencies
+                                    .histogram_record(&format!("loadgen/latency_{class}_us"), us);
+                            }
+                            Ok(resp) if resp.status == 429 => {
+                                // Overload shedding is part of the
+                                // contract, not an error; back off.
+                                latencies.counter_add("loadgen/rejected_429", 1);
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Ok(resp) => {
+                                eprintln!("unexpected status {} for {body}", resp.status);
+                                errors += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("request failed: {e}");
+                                errors += 1;
+                            }
+                        }
+                    }
+                    errors
+                })
+            })
+            .collect();
+        for h in handles {
+            errors += h.join().unwrap_or(1);
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let snap = latencies.snapshot();
+    let empty = HistogramSnapshot::default();
+    let overall = snap.histograms.get("loadgen/latency_us").unwrap_or(&empty);
+    let (p50, p95, p99) = fmt_quantiles(overall);
+    let total_ok = overall.count;
+    let rejected = *snap.counters.get("loadgen/rejected_429").unwrap_or(&0);
+    let throughput = total_ok as f64 / elapsed.as_secs_f64();
+
+    let server_snap = handle.registry().snapshot();
+    let counter = |name: &str| *server_snap.counters.get(name).unwrap_or(&0);
+    let (hits, misses, coalesced, computes) = (
+        counter("serve/cache_hits"),
+        counter("serve/cache_misses"),
+        counter("serve/coalesced"),
+        counter("serve/backend_computes"),
+    );
+
+    eprintln!(
+        "{total_ok} ok / {rejected} shed / {errors} errors in {:.2}s — {:.0} req/s",
+        elapsed.as_secs_f64(),
+        throughput
+    );
+    eprintln!("latency p50={p50:.0}us p95={p95:.0}us p99={p99:.0}us");
+    eprintln!(
+        "server: cache_hits={hits} cache_misses={misses} coalesced={coalesced} computes={computes}"
+    );
+
+    let mut out = format!(
+        "{{\"schema\":\"cubesfc-serve-bench-v1\",\"ne\":{},\"clients\":{},\"requests_per_client\":{},\
+         \"ok\":{total_ok},\"rejected_429\":{rejected},\"errors\":{errors},\
+         \"elapsed_s\":{},\"throughput_rps\":{},\
+         \"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
+         \"server\":{{\"cache_hits\":{hits},\"cache_misses\":{misses},\
+         \"coalesced\":{coalesced},\"backend_computes\":{computes}}},\"classes\":{{",
+        cfg.ne,
+        cfg.clients,
+        cfg.requests,
+        fmt_f64(elapsed.as_secs_f64()),
+        fmt_f64(throughput),
+        fmt_f64(p50),
+        fmt_f64(p95),
+        fmt_f64(p99),
+    );
+    for (i, class) in ["hit", "miss", "coalesced"].iter().enumerate() {
+        let h = snap
+            .histograms
+            .get(&format!("loadgen/latency_{class}_us"))
+            .unwrap_or(&empty);
+        let (p50, p95, p99) = fmt_quantiles(h);
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{class}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count,
+            fmt_f64(p50),
+            fmt_f64(p95),
+            fmt_f64(p99)
+        ));
+    }
+    out.push_str("}}");
+    std::fs::write(&cfg.out, &out).map_err(|e| format!("{}: {e}", cfg.out))?;
+    eprintln!("(serve bench written to {})", cfg.out);
+
+    let stats = handle.shutdown();
+    if stats.completed < stats.accepted {
+        return Err(format!(
+            "drain dropped work: accepted={} completed={}",
+            stats.accepted, stats.completed
+        ));
+    }
+    if errors > 0 {
+        return Err(format!("{errors} request(s) failed"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_config() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: serve_loadgen [OUT.json] [--clients N] [--requests N] [--ne NE]\n\
+                 \tserve_loadgen --probe HOST:PORT"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(target) = &cfg.probe {
+        let addr = match resolve(target) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let failures = probe(addr);
+        return if failures == 0 {
+            eprintln!("probe passed");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("probe failed: {failures} check(s)");
+            ExitCode::FAILURE
+        };
+    }
+    match closed_loop(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

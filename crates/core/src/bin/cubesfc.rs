@@ -17,6 +17,8 @@
 //! cubesfc telemetry report FILE.ndjson [--report-only]
 //! cubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]
 //!                       [--threshold PCT] [--report-only]
+//! cubesfc serve     [--addr HOST:PORT] [--workers N] [--queue N]
+//!                   [--cache-entries N] [--deadline-ms MS]
 //! ```
 //!
 //! `rebalance` simulates a time-varying load (`--trajectory`) over
@@ -86,6 +88,17 @@
 //! not JSON at all — reported with the parser's line/column diagnostic,
 //! never a panic.
 //!
+//! `serve` runs the partitioning service: an HTTP/1.1 JSON API
+//! (`cubesfc-serve-v1`) with `POST /v1/partition`,
+//! `POST /v1/rebalance/step`, `GET /healthz`, and `GET /metrics`,
+//! backed by the experiment engine's bounded mesh cache plus a
+//! server-side LRU result cache and in-flight request coalescing.
+//! `--queue` bounds admission (overload is answered with 429 +
+//! `Retry-After`), `--deadline-ms` bounds each request from accept
+//! time (expired work is answered with 504), and SIGINT/SIGTERM drain
+//! in-flight requests before the process exits 0. `--telemetry` and
+//! `--profile` observe the server like any other command.
+//!
 //! The assignment output format is one line per element: `elem part`.
 
 use cubesfc::report::PartitionReport;
@@ -144,6 +157,16 @@ struct Args {
     resume: Option<String>,
     /// Chaos report JSON output path for `rebalance`.
     chaos_json: Option<String>,
+    /// Bind address for `serve`.
+    addr: String,
+    /// Worker threads for `serve`.
+    workers: usize,
+    /// Admission-queue capacity for `serve`.
+    queue: usize,
+    /// Result-cache capacity (entries) for `serve`.
+    cache_entries: usize,
+    /// Per-request deadline for `serve`, in milliseconds.
+    deadline_ms: u64,
 }
 
 /// What to do with the profile when the command finishes.
@@ -183,6 +206,8 @@ fn usage() -> ExitCode {
          \tcubesfc telemetry report FILE.ndjson [--report-only]\n\
          \tcubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]\n\
          \t  [--threshold PCT] [--report-only]\n\
+         \tcubesfc serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \t  [--cache-entries N] [--deadline-ms MS]\n\
          \tcubesfc --version"
     );
     ExitCode::from(2)
@@ -222,6 +247,11 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_every: 1,
         resume: None,
         chaos_json: None,
+        addr: "127.0.0.1:8437".to_string(),
+        workers: 4,
+        queue: 64,
+        cache_entries: 256,
+        deadline_ms: 30_000,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -367,6 +397,57 @@ fn parse_args() -> Result<Args, String> {
             }
             "--resume" => args.resume = Some(it.next().ok_or("--resume needs a path")?),
             "--chaos-json" => args.chaos_json = Some(it.next().ok_or("--chaos-json needs a path")?),
+            "--addr" => {
+                let a = it.next().ok_or("--addr needs a value")?;
+                if a.is_empty() {
+                    return Err("--addr needs a non-empty HOST:PORT".into());
+                }
+                args.addr = a;
+            }
+            "--workers" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be positive".into());
+                }
+                args.workers = n;
+            }
+            "--queue" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+                if n == 0 {
+                    return Err("--queue must be positive".into());
+                }
+                args.queue = n;
+            }
+            "--cache-entries" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--cache-entries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--cache-entries: {e}"))?;
+                if n == 0 {
+                    return Err("--cache-entries must be positive".into());
+                }
+                args.cache_entries = n;
+            }
+            "--deadline-ms" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--deadline-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                if n == 0 {
+                    return Err("--deadline-ms must be positive".into());
+                }
+                args.deadline_ms = n;
+            }
             other if other.starts_with("--checkpoint=") => {
                 let p = &other["--checkpoint=".len()..];
                 if p.is_empty() {
@@ -411,8 +492,9 @@ fn parse_args() -> Result<Args, String> {
                 return Err(format!("unexpected argument '{stray}'"));
             }
             // `experiment` defaults to the whole Table-1 grid when no
-            // resolution is named; every other command needs one.
-            if args.ne == 0 && args.command != "experiment" {
+            // resolution is named and `serve` takes its sizes from each
+            // request; every other command needs a resolution.
+            if args.ne == 0 && args.command != "experiment" && args.command != "serve" {
                 return Err("--ne is required".into());
             }
         }
@@ -859,6 +941,75 @@ fn run_chaos(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Process-wide shutdown flag, set by the SIGINT/SIGTERM handlers and
+/// polled by the `serve` main loop.
+static SERVE_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Install SIGINT/SIGTERM handlers that flip [`SERVE_STOP`]. Uses the
+/// raw libc `signal` entry point so the binary stays dependency-free;
+/// the handler only does an async-signal-safe atomic store.
+#[cfg(unix)]
+fn install_shutdown_signals() {
+    extern "C" fn on_signal(_sig: i32) {
+        SERVE_STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals() {
+    // No portable zero-dependency handler here; the server still drains
+    // correctly when stopped programmatically.
+}
+
+/// Run the partitioning service until SIGINT/SIGTERM, then drain.
+fn run_serve(args: &Args) -> Result<(), String> {
+    use cubesfc::serve::{ServeConfig, Server};
+    use cubesfc::EngineBackend;
+    use std::sync::Arc;
+
+    let config = ServeConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        queue_capacity: args.queue,
+        cache_entries: args.cache_entries,
+        deadline: std::time::Duration::from_millis(args.deadline_ms),
+    };
+    let backend = Arc::new(EngineBackend::new());
+    let handle = Server::start(config, backend).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    println!(
+        "cubesfc serve listening on http://{} (workers={}, queue={}, cache={}, deadline={}ms)",
+        handle.local_addr(),
+        args.workers,
+        args.queue,
+        args.cache_entries,
+        args.deadline_ms
+    );
+    // The smoke tests scrape the address from a pipe: flush past the
+    // block buffering that pipes get instead of line buffering.
+    let _ = std::io::stdout().flush();
+
+    install_shutdown_signals();
+    while !SERVE_STOP.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested: draining in-flight requests");
+    let stats = handle.shutdown();
+    eprintln!(
+        "drained: accepted={} completed={} rejected={}",
+        stats.accepted, stats.completed, stats.rejected
+    );
+    Ok(())
+}
+
 fn run(args: Args) -> Result<(), CliError> {
     if args.command == "compare" {
         return run_compare(&args);
@@ -871,6 +1022,9 @@ fn run(args: Args) -> Result<(), CliError> {
     }
     if args.command == "chaos" {
         return run_chaos(&args);
+    }
+    if args.command == "serve" {
+        return run_serve(&args).map_err(CliError::Runtime);
     }
     run_mesh_command(args)
 }

@@ -30,7 +30,8 @@ use cubesfc_mesh::{CubedSphere, ExchangeWeights};
 use cubesfc_seam::{CostModel, MachineModel};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Everything derivable from a face size that experiment cells share:
 /// the mesh (topology + geometry + global curve) and its dual graph in
@@ -55,53 +56,157 @@ impl MeshBundle {
     }
 }
 
-/// A thread-safe memo of [`MeshBundle`]s keyed by face size.
+/// Default [`MeshCache`] capacity: comfortably above the four Table-1
+/// resolutions plus headroom for ad-hoc sizes, small enough that a
+/// long-lived server cannot accumulate unbounded meshes.
+pub const DEFAULT_MESH_CACHE_CAPACITY: usize = 16;
+
+/// One cache slot. The `OnceLock` is the build-coalescing point: the
+/// map entry is published *before* the bundle exists, so concurrent
+/// requests for the same `ne` all land on the same slot and
+/// `get_or_init` guarantees exactly one of them runs the build while
+/// the rest block on it.
+struct CacheEntry {
+    slot: Arc<OnceLock<Arc<MeshBundle>>>,
+    tick: u64,
+}
+
+struct CacheState {
+    map: HashMap<usize, CacheEntry>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe memo of [`MeshBundle`]s keyed by face size,
+/// with LRU eviction and coalesced builds.
 ///
 /// `bundle` takes the lock only around the map probe/insert; the build
-/// itself runs outside it, so a slow build never serializes readers of
-/// other resolutions. If two threads race to build the same `ne`, one
-/// result wins and the duplicate is dropped — acceptable because builds
-/// are deterministic.
+/// itself runs outside it via `OnceLock::get_or_init`, so a slow build
+/// never serializes readers of other resolutions, and concurrent
+/// requests for the same unbuilt `ne` compute the bundle exactly once.
+/// When the cache is full, inserting a new resolution evicts the
+/// least-recently-used one. Hit/miss/eviction counts are kept both on
+/// the cache (for direct assertion) and as `engine/cache_*` counters in
+/// the global observability registry.
 pub struct MeshCache {
     exchange: ExchangeWeights,
-    inner: Mutex<HashMap<usize, Arc<MeshBundle>>>,
+    capacity: usize,
+    inner: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl MeshCache {
-    /// An empty cache with the default (paper) exchange weights.
+    /// An empty cache with the default (paper) exchange weights and
+    /// [`DEFAULT_MESH_CACHE_CAPACITY`].
     pub fn new() -> MeshCache {
         MeshCache::with_exchange(ExchangeWeights::default())
     }
 
     /// An empty cache with explicit exchange weights.
     pub fn with_exchange(exchange: ExchangeWeights) -> MeshCache {
+        MeshCache::with_exchange_and_capacity(exchange, DEFAULT_MESH_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` resolutions (min 1).
+    pub fn with_capacity(capacity: usize) -> MeshCache {
+        MeshCache::with_exchange_and_capacity(ExchangeWeights::default(), capacity)
+    }
+
+    /// An empty cache with explicit weights and capacity.
+    pub fn with_exchange_and_capacity(exchange: ExchangeWeights, capacity: usize) -> MeshCache {
         MeshCache {
             exchange,
-            inner: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheState {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// The bundle for `ne`, building and memoizing it on first request.
+    ///
+    /// A *hit* means a slot for `ne` already existed (built, or being
+    /// built by another thread — the result is shared either way); a
+    /// *miss* means this call created the slot, and misses therefore
+    /// equal builds.
     pub fn bundle(&self, ne: usize) -> Arc<MeshBundle> {
-        if let Some(b) = self.inner.lock().unwrap().get(&ne) {
-            cubesfc_obs::counter_add("experiment/cache_hits", 1);
-            return Arc::clone(b);
-        }
-        cubesfc_obs::counter_add("experiment/cache_builds", 1);
-        let built = Arc::new(MeshBundle::build(ne, self.exchange));
-        let mut map = self.inner.lock().unwrap();
-        // Keep a bundle that raced in first so every caller shares one.
-        Arc::clone(map.entry(ne).or_insert(built))
+        let slot = {
+            let mut state = self.inner.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.map.get_mut(&ne) {
+                entry.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cubesfc_obs::counter_add("engine/cache_hits", 1);
+                Arc::clone(&entry.slot)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                cubesfc_obs::counter_add("engine/cache_misses", 1);
+                if state.map.len() >= self.capacity {
+                    if let Some(oldest) = state
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.tick)
+                        .map(|(&k, _)| k)
+                    {
+                        state.map.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        cubesfc_obs::counter_add("engine/cache_evictions", 1);
+                    }
+                }
+                let slot = Arc::new(OnceLock::new());
+                state.map.insert(
+                    ne,
+                    CacheEntry {
+                        slot: Arc::clone(&slot),
+                        tick,
+                    },
+                );
+                slot
+            }
+        };
+        // Outside the lock: exactly one caller per slot runs the build.
+        Arc::clone(slot.get_or_init(|| Arc::new(MeshBundle::build(ne, self.exchange))))
     }
 
     /// Number of memoized resolutions.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
     }
 
     /// Whether nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an existing slot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that created a slot (== bundle builds).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Resolutions evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Whether `ne` currently has a slot (without touching recency).
+    pub fn contains(&self, ne: usize) -> bool {
+        self.inner.lock().unwrap().map.contains_key(&ne)
     }
 }
 
@@ -337,6 +442,28 @@ mod tests {
         assert_eq!(a.graph.nv(), 96);
         cache.bundle(2);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_resolution() {
+        let cache = MeshCache::with_capacity(2);
+        cache.bundle(2);
+        cache.bundle(3);
+        cache.bundle(2); // touch 2 so 3 is now the LRU entry
+        cache.bundle(4); // evicts 3
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(2));
+        assert!(!cache.contains(3));
+        assert!(cache.contains(4));
+        assert_eq!(cache.evictions(), 1);
+        // Re-requesting the evicted resolution rebuilds it (a miss).
+        let misses_before = cache.misses();
+        cache.bundle(3);
+        assert_eq!(cache.misses(), misses_before + 1);
+        assert_eq!(cache.evictions(), 2);
     }
 
     #[test]

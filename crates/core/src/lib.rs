@@ -53,6 +53,7 @@ pub mod partitioner;
 pub mod rcb;
 pub mod repartition;
 pub mod report;
+pub mod service;
 pub mod sfc_partition;
 pub mod viz;
 
@@ -73,6 +74,7 @@ pub use repartition::{
     EXACT_MATCH_LIMIT,
 };
 pub use report::{best_metis, PartitionReport};
+pub use service::{method_from_name, EngineBackend};
 pub use sfc_partition::{partition_curve, partition_curve_weighted, segment_ranges};
 
 // Re-export the sub-crates so downstream users need only one dependency.
@@ -81,4 +83,5 @@ pub use cubesfc_graph::{self as graph, Partition, PartitionConfig};
 pub use cubesfc_mesh::{self as mesh, CubedSphere, ElemId, GlobalCurve, Topology};
 pub use cubesfc_obs as obs;
 pub use cubesfc_seam::{self as seam, CostModel, MachineModel, PerfReport};
+pub use cubesfc_serve as serve;
 pub use cubesfc_sfc::{self as sfc, CurveFamily, Schedule, SfcCurve};

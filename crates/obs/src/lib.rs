@@ -56,7 +56,10 @@ pub use json::{escape as json_escape, SCHEMA};
 pub use series::Series;
 pub use snapshot::{Bucket, HistogramSnapshot, Snapshot, SpanStat};
 pub use telemetry::{parse_telemetry, Sampler, SeriesBank, TelemetrySample, TELEMETRY_SCHEMA};
-pub use value::{parse as json_parse, JsonValue};
+pub use value::{
+    parse as json_parse, parse_with_limits as json_parse_with_limits, JsonError, JsonErrorKind,
+    JsonLimits, JsonValue,
+};
 
 use snapshot::{bucket_index, bucket_range, HIST_BUCKETS};
 use std::cell::RefCell;

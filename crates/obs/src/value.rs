@@ -83,15 +83,103 @@ impl JsonValue {
     }
 }
 
-/// Parse a complete JSON document (trailing garbage is an error).
+/// Resource limits applied while parsing untrusted input.
+///
+/// The parser recurses once per nesting level, so an adversarial
+/// document like `"[".repeat(1 << 20)` would otherwise overflow the
+/// stack; `max_depth` turns that into a structured [`JsonError`]. The
+/// byte cap rejects oversized bodies before any work is done.
+#[derive(Clone, Copy, Debug)]
+pub struct JsonLimits {
+    /// Maximum input size in bytes (inputs longer than this are
+    /// rejected up front).
+    pub max_bytes: usize,
+    /// Maximum nesting depth of arrays/objects.
+    pub max_depth: usize,
+}
+
+impl Default for JsonLimits {
+    /// Generous defaults safe for every document this workspace emits:
+    /// 64 MiB, 128 levels (profile/trace/telemetry documents nest < 8).
+    fn default() -> JsonLimits {
+        JsonLimits {
+            max_bytes: 64 << 20,
+            max_depth: 128,
+        }
+    }
+}
+
+/// What went wrong while parsing, as a machine-checkable class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// The input violates the JSON grammar.
+    Syntax,
+    /// Nesting exceeded [`JsonLimits::max_depth`].
+    TooDeep,
+    /// The input exceeded [`JsonLimits::max_bytes`].
+    TooLarge,
+}
+
+/// A structured parse failure: the error class plus the 1-based
+/// position the parser stopped at. [`std::fmt::Display`] renders the
+/// historical `"<msg> at line L, column C"` format the CLI's exit-2
+/// diagnostics rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// The error class.
+    pub kind: JsonErrorKind,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column (byte within the line) of the offending byte.
+    pub column: usize,
+    /// Human-readable description (no position suffix).
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.message, self.line, self.column
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document (trailing garbage is an error) with
+/// the default [`JsonLimits`].
 ///
 /// Errors carry a 1-based `line L, column C` position so a replay tool
 /// can point at the offending spot in a multi-line document (the CLI's
 /// exit-2 diagnostics depend on this format).
 pub fn parse(input: &str) -> Result<JsonValue, String> {
+    parse_with_limits(input, &JsonLimits::default()).map_err(|e| e.to_string())
+}
+
+/// [`parse`] with explicit resource limits and a structured error —
+/// the entry point for network-supplied bodies, where the caller needs
+/// to distinguish "too big" / "too deep" from plain syntax errors and
+/// must never risk a stack overflow.
+pub fn parse_with_limits(input: &str, limits: &JsonLimits) -> Result<JsonValue, JsonError> {
+    if input.len() > limits.max_bytes {
+        return Err(JsonError {
+            kind: JsonErrorKind::TooLarge,
+            line: 1,
+            column: 1,
+            message: format!(
+                "input of {} bytes exceeds the {}-byte limit",
+                input.len(),
+                limits.max_bytes
+            ),
+        });
+    }
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth: limits.max_depth,
     };
     let v = p.value()?;
     p.skip_ws();
@@ -104,6 +192,8 @@ pub fn parse(input: &str) -> Result<JsonValue, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser<'_> {
@@ -116,10 +206,20 @@ impl Parser<'_> {
         (line, col)
     }
 
-    /// `msg` decorated with the current `line L, column C` position.
-    fn err(&self, msg: impl std::fmt::Display) -> String {
-        let (line, col) = self.line_col();
-        format!("{msg} at line {line}, column {col}")
+    /// A [`JsonErrorKind::Syntax`] error at the current position.
+    fn err(&self, msg: impl std::fmt::Display) -> JsonError {
+        self.err_kind(JsonErrorKind::Syntax, msg)
+    }
+
+    /// An error of `kind` at the current position.
+    fn err_kind(&self, kind: JsonErrorKind, msg: impl std::fmt::Display) -> JsonError {
+        let (line, column) = self.line_col();
+        JsonError {
+            kind,
+            line,
+            column,
+            message: msg.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -128,7 +228,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
         if self.bytes.get(self.pos) == Some(&c) {
             self.pos += 1;
             Ok(())
@@ -141,7 +241,7 @@ impl Parser<'_> {
         }
     }
 
-    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -150,7 +250,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<JsonValue, String> {
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
         self.skip_ws();
         match self.bytes.get(self.pos) {
             Some(b'{') => self.object(),
@@ -164,12 +264,28 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<JsonValue, String> {
+    /// Bump the nesting depth on entering an array/object, failing with
+    /// a structured [`JsonErrorKind::TooDeep`] instead of recursing into
+    /// a stack overflow on hostile input.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err_kind(
+                JsonErrorKind::TooDeep,
+                format!("nesting exceeds {} levels", self.max_depth),
+            ));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.descend()?;
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(map));
         }
         loop {
@@ -183,6 +299,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(map));
                 }
                 other => {
@@ -195,12 +312,14 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<JsonValue, String> {
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.descend()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.bytes.get(self.pos) == Some(&b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -210,6 +329,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 other => {
@@ -222,7 +342,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -249,10 +369,10 @@ impl Parser<'_> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                std::str::from_utf8(hex).map_err(|e| self.err(e))?,
                                 16,
                             )
-                            .map_err(|e| e.to_string())?;
+                            .map_err(|e| self.err(e))?;
                             // Surrogates map to the replacement character;
                             // profile/trace documents never emit them.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
@@ -276,14 +396,14 @@ impl Parser<'_> {
                     }
                     out.push_str(
                         std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|e| e.to_string())?,
+                            .map_err(|e| self.err(e))?,
                     );
                 }
             }
         }
     }
 
-    fn number(&mut self) -> Result<JsonValue, String> {
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.bytes.get(self.pos) == Some(&b'-') {
             self.pos += 1;
@@ -415,5 +535,57 @@ mod tests {
     #[test]
     fn unicode_strings_survive() {
         assert_eq!(parse("\"héllo ✓\"").unwrap().as_str(), Some("héllo ✓"));
+    }
+
+    #[test]
+    fn hostile_deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        // A megabyte of '[' would blow the stack in a depth-unlimited
+        // recursive parser; with the default limits it must return a
+        // TooDeep error (and `parse`'s String form must carry the same
+        // line/column suffix as every other diagnostic).
+        for doc in ["[".repeat(1 << 20), "{\"a\":".repeat(1 << 18)] {
+            let err = parse_with_limits(&doc, &JsonLimits::default()).unwrap_err();
+            assert_eq!(err.kind, JsonErrorKind::TooDeep);
+            assert_eq!(err.line, 1);
+            assert!(err.to_string().contains("at line 1, column"), "{err}");
+            assert!(parse(&doc).is_err());
+        }
+    }
+
+    #[test]
+    fn documents_within_the_depth_limit_still_parse() {
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&deep).is_ok());
+        let at_limit = format!("{}1{}", "[".repeat(8), "]".repeat(8));
+        let limits = JsonLimits {
+            max_depth: 8,
+            ..JsonLimits::default()
+        };
+        assert!(parse_with_limits(&at_limit, &limits).is_ok());
+        let over = format!("{}1{}", "[".repeat(9), "]".repeat(9));
+        assert_eq!(
+            parse_with_limits(&over, &limits).unwrap_err().kind,
+            JsonErrorKind::TooDeep
+        );
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_up_front() {
+        let limits = JsonLimits {
+            max_bytes: 16,
+            ..JsonLimits::default()
+        };
+        let err = parse_with_limits(&format!("\"{}\"", "x".repeat(64)), &limits).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::TooLarge);
+        assert!(err.to_string().contains("exceeds the 16-byte limit"));
+        // At the cap exactly is fine.
+        assert!(parse_with_limits("\"xxxxxxxxxxxxxx\"", &limits).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_keep_the_structured_kind_and_position() {
+        let err = parse_with_limits("{\n  \"a\" 1}", &JsonLimits::default()).unwrap_err();
+        assert_eq!(err.kind, JsonErrorKind::Syntax);
+        assert_eq!(err.line, 2);
     }
 }

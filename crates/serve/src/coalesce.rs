@@ -1,0 +1,292 @@
+//! In-flight request coalescing ("single-flight").
+//!
+//! When several identical requests are being served concurrently, only
+//! the first — the *leader* — runs the computation; the rest become
+//! *followers* that block on the leader's flight and receive a clone of
+//! its result. The flight table holds one entry per in-flight key; the
+//! entry is removed the moment the leader completes, so later requests
+//! for the same key start fresh (and normally hit the result cache the
+//! leader populated).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How a coalesced call obtained its value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome<V> {
+    /// This caller was the leader: it ran the computation itself.
+    Computed(V),
+    /// This caller was a follower: it received the leader's result.
+    Shared(V),
+    /// A follower's wait exceeded its deadline before the leader
+    /// finished (the leader keeps running; its result still lands in
+    /// the flight for any remaining followers).
+    TimedOut,
+    /// The leader panicked mid-computation; the flight was poisoned
+    /// and followers were released without a value.
+    Failed,
+}
+
+enum FlightState<V> {
+    Running,
+    Done(V),
+    Poisoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// A single-flight table: identical concurrent keys compute once.
+pub struct Coalescer<K: Eq + Hash + Clone, V: Clone> {
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    waiting: std::sync::atomic::AtomicUsize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
+    /// An empty flight table.
+    pub fn new() -> Coalescer<K, V> {
+        Coalescer {
+            flights: Mutex::new(HashMap::new()),
+            waiting: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flight table poisoned").len()
+    }
+
+    /// Number of followers currently blocked on a flight, across all
+    /// keys. Tests (and the saturation-aware server) use this to
+    /// observe that concurrent identical requests actually coalesced
+    /// *before* the leader is released.
+    pub fn waiting(&self) -> usize {
+        self.waiting.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Run `compute` for `key`, coalescing with any identical call
+    /// already in flight. The leader runs `compute`; followers block
+    /// (up to `timeout`, forever if `None`) and share the result.
+    pub fn run(
+        &self,
+        key: K,
+        timeout: Option<Duration>,
+        compute: impl FnOnce() -> V,
+    ) -> Outcome<V> {
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().expect("flight table poisoned");
+            match flights.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            return self.wait(&flight, timeout);
+        }
+
+        // Leader: make sure the flight is resolved and deregistered even
+        // if `compute` panics, so followers never hang.
+        struct Guard<'a, K: Eq + Hash + Clone, V: Clone> {
+            owner: &'a Coalescer<K, V>,
+            key: K,
+            flight: Arc<Flight<V>>,
+            done: bool,
+        }
+        impl<K: Eq + Hash + Clone, V: Clone> Drop for Guard<'_, K, V> {
+            fn drop(&mut self) {
+                self.owner
+                    .flights
+                    .lock()
+                    .expect("flight table poisoned")
+                    .remove(&self.key);
+                let mut state = self.flight.state.lock().expect("flight poisoned");
+                if !self.done {
+                    *state = FlightState::Poisoned;
+                }
+                self.flight.cv.notify_all();
+            }
+        }
+
+        let mut guard = Guard {
+            owner: self,
+            key,
+            flight: Arc::clone(&flight),
+            done: false,
+        };
+        let value = compute();
+        {
+            let mut state = flight.state.lock().expect("flight poisoned");
+            *state = FlightState::Done(value.clone());
+            guard.done = true;
+        }
+        drop(guard); // deregisters the key and wakes followers
+        Outcome::Computed(value)
+    }
+
+    /// Follower path: block until the flight resolves or the deadline
+    /// passes.
+    fn wait(&self, flight: &Flight<V>, timeout: Option<Duration>) -> Outcome<V> {
+        use std::sync::atomic::Ordering;
+        struct WaitGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        self.waiting.fetch_add(1, Ordering::SeqCst);
+        let _guard = WaitGuard(&self.waiting);
+        let mut state = flight.state.lock().expect("flight poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(v) => return Outcome::Shared(v.clone()),
+                FlightState::Poisoned => return Outcome::Failed,
+                FlightState::Running => {}
+            }
+            state = match timeout {
+                None => flight.cv.wait(state).expect("flight poisoned"),
+                Some(t) => {
+                    let (s, res) = flight.cv.wait_timeout(state, t).expect("flight poisoned");
+                    if res.timed_out() {
+                        // One more state check: the leader may have
+                        // finished in the race window.
+                        match &*s {
+                            FlightState::Done(v) => return Outcome::Shared(v.clone()),
+                            FlightState::Poisoned => return Outcome::Failed,
+                            FlightState::Running => return Outcome::TimedOut,
+                        }
+                    }
+                    s
+                }
+            };
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Coalescer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let coalescer: Arc<Coalescer<u32, u64>> = Arc::new(Coalescer::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        // 2-party barrier between the leader's compute closure and this
+        // test thread: the flight stays open until we release it, so
+        // every thread spawned in between is guaranteed to coalesce.
+        let release = Arc::new(Barrier::new(2));
+        let leader = {
+            let (c, n, r) = (
+                Arc::clone(&coalescer),
+                Arc::clone(&computes),
+                Arc::clone(&release),
+            );
+            std::thread::spawn(move || {
+                c.run(7, None, || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    r.wait();
+                    42u64
+                })
+            })
+        };
+        while coalescer.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&coalescer);
+                std::thread::spawn(move || c.run(7, None, || unreachable!()))
+            })
+            .collect();
+        // Release only after all three are provably blocked on the
+        // flight; otherwise a late starter could miss the flight and
+        // become a second leader.
+        while coalescer.waiting() < 3 {
+            std::thread::yield_now();
+        }
+        release.wait();
+        assert_eq!(leader.join().unwrap(), Outcome::Computed(42));
+        for f in followers {
+            assert_eq!(f.join().unwrap(), Outcome::Shared(42));
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        assert_eq!(coalescer.in_flight(), 0);
+    }
+
+    #[test]
+    fn sequential_calls_each_compute() {
+        let c: Coalescer<&str, u32> = Coalescer::new();
+        assert_eq!(c.run("k", None, || 1), Outcome::Computed(1));
+        assert_eq!(c.run("k", None, || 2), Outcome::Computed(2));
+    }
+
+    #[test]
+    fn follower_times_out_while_leader_keeps_running() {
+        let c: Arc<Coalescer<u32, u32>> = Arc::new(Coalescer::new());
+        let hold = Arc::new(Barrier::new(2));
+        let leader = {
+            let (c, hold) = (Arc::clone(&c), Arc::clone(&hold));
+            std::thread::spawn(move || {
+                c.run(1, None, || {
+                    hold.wait();
+                    9
+                })
+            })
+        };
+        // Wait until the flight is registered, then join with a tiny
+        // deadline.
+        while c.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let out = c.run(1, Some(Duration::from_millis(10)), || unreachable!());
+        assert_eq!(out, Outcome::TimedOut);
+        hold.wait();
+        assert_eq!(leader.join().unwrap(), Outcome::Computed(9));
+    }
+
+    #[test]
+    fn leader_panic_poisons_followers_not_the_table() {
+        let c: Arc<Coalescer<u32, u32>> = Arc::new(Coalescer::new());
+        let hold = Arc::new(Barrier::new(2));
+        let leader = {
+            let (c, hold) = (Arc::clone(&c), Arc::clone(&hold));
+            std::thread::spawn(move || {
+                let _ = c.run(1, None, || {
+                    hold.wait();
+                    panic!("backend exploded")
+                });
+            })
+        };
+        while c.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let follower = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.run(1, Some(Duration::from_secs(5)), || 0))
+        };
+        hold.wait();
+        assert!(leader.join().is_err());
+        assert_eq!(follower.join().unwrap(), Outcome::Failed);
+        // The table is clean: a fresh call computes normally.
+        assert_eq!(c.run(1, None, || 5), Outcome::Computed(5));
+    }
+}

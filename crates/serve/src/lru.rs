@@ -1,0 +1,136 @@
+//! A small bounded LRU cache.
+//!
+//! Recency is tracked with a monotonic tick per entry; eviction scans
+//! for the minimum tick. That makes `insert` O(n) in the worst case,
+//! which is the right trade at service-cache sizes (hundreds to a few
+//! thousand entries): no unsafe linked-list surgery, no allocation per
+//! touch, and the scan only runs when the cache is actually full.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look `key` up, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, t)| {
+            *t = tick;
+            &*v
+        })
+    }
+
+    /// Insert (or replace) `key`, evicting the least-recently-used
+    /// entry first if the cache is full. Returns how many entries were
+    /// evicted (0 or 1).
+    pub fn insert(&mut self, key: K, value: V) -> usize {
+        self.tick += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+                evicted = 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+        evicted
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is present (without touching recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch "a" so "b" is the LRU entry.
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.insert("c", 3), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&"a"));
+        assert!(!c.contains(&"b"));
+        assert!(c.contains(&"c"));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn replacing_an_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1u32, "x");
+        c.insert(2u32, "y");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn misses_do_not_evict_or_count() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        assert_eq!(c.get(&7), None);
+        assert!(c.is_empty());
+        assert_eq!(c.evictions(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! A bounded MPMC work queue with explicit overload and drain
+//! semantics.
+//!
+//! `push` never blocks: a full queue is an *admission-control* decision
+//! the caller turns into a `429 Retry-After`, not something to absorb
+//! with unbounded buffering. `pop` blocks until work arrives or the
+//! queue is closed **and drained** — close stops new work but every
+//! item accepted before the close is still handed out, which is exactly
+//! the graceful-shutdown contract ("drain in-flight and accepted work,
+//! reject new work").
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a `push` was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, refusing immediately when full or closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item is available. Returns `None`
+    /// only once the queue is closed *and* empty — items accepted
+    /// before the close are always delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: all pending `pop`s drain the backlog then
+    /// return `None`; further `push`es fail.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current backlog length.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_accepted_items_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.push(7).unwrap();
+        q.close();
+        let got: Vec<Option<u32>> = consumers.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn producer_consumer_round_trip() {
+        let q: Arc<BoundedQueue<usize>> = Arc::new(BoundedQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut sum = 0;
+                while let Some(v) = q.pop() {
+                    sum += v;
+                }
+                sum
+            })
+        };
+        for i in 1..=100 {
+            // Spin on Full: the consumer drains concurrently.
+            let mut item = i;
+            loop {
+                match q.push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(v)) => {
+                        item = v;
+                        std::thread::yield_now();
+                    }
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), 5050);
+    }
+}

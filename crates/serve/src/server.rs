@@ -1,0 +1,463 @@
+//! The accept loop, worker pool, and request routing.
+//!
+//! Life of a request:
+//!
+//! 1. The acceptor takes the TCP connection and tries to enqueue it.
+//!    A full queue is answered with `429 Too Many Requests` +
+//!    `Retry-After` straight from the acceptor — overload never grows
+//!    memory, it sheds load.
+//! 2. A worker dequeues the connection. If the admission deadline has
+//!    already passed it answers `504` without touching the backend.
+//! 3. `POST /v1/partition` consults the bounded LRU result cache, then
+//!    the single-flight table: identical concurrent misses compute
+//!    once and share the body. The `x-cubesfc-cache` header reports
+//!    `hit`, `miss`, or `coalesced`.
+//! 4. On shutdown the acceptor stops and closes the queue; workers
+//!    drain every connection accepted before the close, then exit.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cubesfc_obs::Registry;
+
+use crate::api::{
+    error_body, parse_partition_request, parse_rebalance_request, PartitionRequest, SERVE_SCHEMA,
+};
+use crate::coalesce::{Coalescer, Outcome};
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::lru::LruCache;
+use crate::queue::{BoundedQueue, PushError};
+use crate::{Backend, BackendError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8437` (`:0` for an ephemeral
+    /// port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it get 429.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_entries: usize,
+    /// Per-request deadline measured from accept time.
+    pub deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_entries: 256,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What the drain observed, returned by [`ServerHandle::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Connections admitted to the queue over the server's lifetime.
+    pub accepted: u64,
+    /// Requests answered (any status) over the server's lifetime.
+    pub completed: u64,
+    /// Connections refused with 429.
+    pub rejected: u64,
+}
+
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+struct Shared {
+    backend: Arc<dyn Backend>,
+    registry: Registry,
+    cache: Mutex<LruCache<PartitionRequest, String>>,
+    coalescer: Coalescer<PartitionRequest, Result<String, BackendError>>,
+    queue: BoundedQueue<Job>,
+    deadline: Duration,
+    inflight: AtomicUsize,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Shared {
+    fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let misses = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+
+    fn emit_gauges(&self) {
+        let step = self.completed.load(Ordering::Relaxed);
+        cubesfc_obs::telemetry_record(
+            "serve",
+            step,
+            &[
+                ("queue_depth", self.queue.len() as f64),
+                ("inflight", self.inflight.load(Ordering::Relaxed) as f64),
+                ("cache_hit_rate", self.cache_hit_rate()),
+            ],
+            &[],
+        );
+    }
+}
+
+/// The running server; construct via [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return a handle.
+    pub fn start(config: ServeConfig, backend: Arc<dyn Backend>) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            backend,
+            registry: Registry::new(),
+            cache: Mutex::new(LruCache::new(config.cache_entries)),
+            coalescer: Coalescer::new(),
+            queue: BoundedQueue::new(config.queue_capacity),
+            deadline: config.deadline,
+            inflight: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(listener, shared, stop))?
+        };
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            shared,
+        })
+    }
+}
+
+/// Handle to a running server: observability accessors plus the
+/// graceful-shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current admission-queue backlog.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Requests currently being processed by workers.
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Followers currently blocked on a coalesced flight.
+    pub fn coalesced_waiting(&self) -> usize {
+        self.shared.coalescer.waiting()
+    }
+
+    /// Result-cache entry count.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// The server's metrics registry (also served at `GET /metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Connections admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain every admitted connection, join all
+    /// threads, and report what happened.
+    pub fn shutdown(mut self) -> DrainStats {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        DrainStats {
+            accepted: self.shared.accepted.load(Ordering::SeqCst),
+            completed: self.shared.completed.load(Ordering::SeqCst),
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Write an early reply for a request that was never (fully) read, then
+/// close politely: half-close the write side and drain what the client
+/// already sent, bounded in bytes and time. Closing with unread data in
+/// the receive buffer would make the kernel send RST, which can destroy
+/// the response before the client reads it.
+fn respond_and_close(mut stream: TcpStream, response: Response) {
+    use std::io::Read;
+    if response.write(&mut stream).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 64 * 1024;
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => match budget.checked_sub(n) {
+                Some(rest) => budget = rest,
+                None => break,
+            },
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let job = Job {
+                    stream,
+                    accepted_at: Instant::now(),
+                };
+                match shared.queue.push(job) {
+                    Ok(()) => {
+                        shared.accepted.fetch_add(1, Ordering::SeqCst);
+                        shared.registry.counter_add("serve/accepted", 1);
+                    }
+                    Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+                        shared.rejected.fetch_add(1, Ordering::SeqCst);
+                        shared.registry.counter_add("serve/http_429", 1);
+                        let stream = job.stream;
+                        let _ = stream.set_nodelay(true);
+                        respond_and_close(
+                            stream,
+                            Response::json(429, error_body(429, "admission queue full"))
+                                .with_header("retry-after", "1"),
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // No new work after this point; workers drain what was admitted.
+    shared.queue.close();
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        serve_connection(&shared, job);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.completed.fetch_add(1, Ordering::SeqCst);
+        shared.registry.counter_add("serve/completed", 1);
+        shared.emit_gauges();
+    }
+}
+
+fn serve_connection(shared: &Shared, job: Job) {
+    let started = Instant::now();
+    let mut stream = job.stream;
+    let _ = stream.set_nodelay(true);
+
+    let elapsed = job.accepted_at.elapsed();
+    if elapsed >= shared.deadline {
+        shared.registry.counter_add("serve/http_504", 1);
+        respond_and_close(
+            stream,
+            Response::json(504, error_body(504, "deadline expired in queue")),
+        );
+        return;
+    }
+    let remaining = shared.deadline - elapsed;
+    let _ = stream.set_read_timeout(Some(remaining));
+
+    let request = match read_request(&stream) {
+        Ok(req) => req,
+        Err(ReadError::Eof) => return,
+        Err(err) => {
+            let (status, message) = match err {
+                ReadError::LengthRequired => (411, "content-length required".to_string()),
+                ReadError::PayloadTooLarge => (413, "request body too large".to_string()),
+                ReadError::BadRequest(m) => (400, m),
+                ReadError::Io(m) => (400, format!("read failed: {m}")),
+                ReadError::Eof => unreachable!(),
+            };
+            shared
+                .registry
+                .counter_add(&format!("serve/http_{status}"), 1);
+            // The request may be partially unread (oversized or
+            // malformed bodies are refused early).
+            respond_and_close(stream, Response::json(status, error_body(status, &message)));
+            return;
+        }
+    };
+
+    shared.registry.counter_add("serve/requests", 1);
+    let (endpoint, response) = route(shared, &request, remaining);
+    if response.status >= 400 {
+        shared
+            .registry
+            .counter_add(&format!("serve/http_{}", response.status), 1);
+    }
+    shared.registry.histogram_record(
+        &format!("serve/latency/{endpoint}_us"),
+        started.elapsed().as_micros() as u64,
+    );
+    let _ = response.write(&mut stream);
+}
+
+fn route(shared: &Shared, request: &Request, remaining: Duration) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            "healthz",
+            Response::json(
+                200,
+                format!("{{\"schema\":\"{SERVE_SCHEMA}\",\"status\":\"ok\"}}"),
+            ),
+        ),
+        ("GET", "/metrics") => (
+            "metrics",
+            Response::json(200, shared.registry.snapshot().to_json()),
+        ),
+        ("POST", "/v1/partition") => ("partition", handle_partition(shared, request, remaining)),
+        ("POST", "/v1/rebalance/step") => ("rebalance", handle_rebalance(shared, request)),
+        (_, "/healthz") | (_, "/metrics") | (_, "/v1/partition") | (_, "/v1/rebalance/step") => (
+            "bad_method",
+            Response::json(405, error_body(405, "method not allowed")),
+        ),
+        _ => (
+            "not_found",
+            Response::json(404, error_body(404, "no such endpoint")),
+        ),
+    }
+}
+
+fn handle_partition(shared: &Shared, request: &Request, remaining: Duration) -> Response {
+    let _span = shared.registry.span("serve/partition");
+    let req = match parse_partition_request(&request.body) {
+        Ok(req) => req,
+        Err(message) => return Response::json(400, error_body(400, &message)),
+    };
+
+    if let Some(body) = shared
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .get(&req)
+        .cloned()
+    {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.registry.counter_add("serve/cache_hits", 1);
+        return Response::json(200, body).with_header("x-cubesfc-cache", "hit");
+    }
+    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+    shared.registry.counter_add("serve/cache_misses", 1);
+
+    let backend = Arc::clone(&shared.backend);
+    let outcome = shared.coalescer.run(req.clone(), Some(remaining), || {
+        shared.registry.counter_add("serve/backend_computes", 1);
+        backend.partition(&req)
+    });
+
+    match outcome {
+        Outcome::Computed(Ok(body)) => {
+            let evicted = shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(req, body.clone());
+            if evicted > 0 {
+                shared
+                    .registry
+                    .counter_add("serve/cache_evictions", evicted as u64);
+            }
+            Response::json(200, body).with_header("x-cubesfc-cache", "miss")
+        }
+        Outcome::Shared(Ok(body)) => {
+            shared.registry.counter_add("serve/coalesced", 1);
+            Response::json(200, body).with_header("x-cubesfc-cache", "coalesced")
+        }
+        Outcome::Computed(Err(err)) | Outcome::Shared(Err(err)) => backend_error_response(err),
+        Outcome::TimedOut => Response::json(
+            504,
+            error_body(504, "deadline expired waiting for computation"),
+        ),
+        Outcome::Failed => Response::json(500, error_body(500, "computation failed")),
+    }
+}
+
+fn handle_rebalance(shared: &Shared, request: &Request) -> Response {
+    let _span = shared.registry.span("serve/rebalance");
+    let req = match parse_rebalance_request(&request.body) {
+        Ok(req) => req,
+        Err(message) => return Response::json(400, error_body(400, &message)),
+    };
+    match shared.backend.rebalance_step(&req) {
+        Ok(body) => Response::json(200, body),
+        Err(err) => backend_error_response(err),
+    }
+}
+
+fn backend_error_response(err: BackendError) -> Response {
+    match err {
+        BackendError::BadRequest(m) => Response::json(400, error_body(400, &m)),
+        BackendError::Internal(m) => Response::json(500, error_body(500, &m)),
+    }
+}

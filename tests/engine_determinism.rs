@@ -12,9 +12,10 @@
 //! the tests that touch either.
 
 use cubesfc::{
-    cells_for, set_jobs, CellResult, ExperimentCell, ExperimentEngine, PartitionMethod,
+    cells_for, set_jobs, CellResult, ExperimentCell, ExperimentEngine, MeshCache, PartitionMethod,
     PartitionOptions, Resolution, NCAR_P690_MAX_PROCS,
 };
+use std::sync::Arc;
 
 /// Serialises tests mutating process-global state (worker-pool size,
 /// observability registry).
@@ -120,4 +121,59 @@ fn parallel_engine_merges_observability_shards_exactly() {
         s.timers.iter().map(|(k, v)| (k.clone(), v.count)).collect()
     };
     assert_eq!(counts(&serial), counts(&parallel));
+}
+
+#[test]
+fn concurrent_mesh_cache_misses_build_once_and_share() {
+    // Many threads racing the same cold resolution: the slot is
+    // published before the build, so exactly one thread builds (one
+    // miss) and every caller shares the same Arc.
+    let cache = Arc::new(MeshCache::new());
+    let bundles: Vec<_> = {
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.bundle(8))
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    };
+    for b in &bundles[1..] {
+        assert!(Arc::ptr_eq(&bundles[0], b));
+    }
+    assert_eq!(cache.misses(), 1, "coalesced misses must build once");
+    assert_eq!(cache.hits(), 7);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn concurrent_engine_cells_match_serial_bit_for_bit() {
+    // One shared engine, every cell raced from plain threads (not the
+    // rayon pool): results must be byte-identical to the serial
+    // reference, including through a cold cache.
+    let cells: Vec<ExperimentCell> = [(4usize, 6usize), (4, 16), (8, 96), (8, 24)]
+        .iter()
+        .flat_map(|&(ne, nproc)| {
+            [PartitionMethod::Sfc, PartitionMethod::MetisKway]
+                .into_iter()
+                .map(move |method| ExperimentCell { ne, nproc, method })
+        })
+        .collect();
+    let reference = ExperimentEngine::new().run_serial(&cells).unwrap();
+
+    let engine = Arc::new(ExperimentEngine::new());
+    let raced: Vec<CellResult> = {
+        let threads: Vec<_> = cells
+            .iter()
+            .map(|&cell| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || engine.run_cell(cell).unwrap())
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    };
+    assert_identical(&reference, &raced, "threaded run_cell");
+    // Two resolutions were shared by eight concurrent cells: two builds.
+    assert_eq!(engine.cache().misses(), 2);
+    assert_eq!(engine.cache().len(), 2);
 }

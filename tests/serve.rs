@@ -1,0 +1,377 @@
+//! Integration tests for the `cubesfc-serve-v1` service: the four
+//! production-mechanics guarantees from the subsystem's contract —
+//!
+//! 1. a cached result is at least an order of magnitude faster than a
+//!    cold computation,
+//! 2. identical concurrent requests compute exactly once (coalescing),
+//! 3. overload sheds with 429 while admitted work still completes,
+//! 4. graceful shutdown drains every admitted request,
+//!
+//! plus deadline expiry (504) and hostile-input rejection (400/413).
+//!
+//! The mechanics tests use a gated mock backend so concurrency is
+//! *controlled*, not raced: the gate holds computations open until the
+//! test has observed the state it needs (queue depth, coalesced
+//! waiters), making every assertion deterministic. The speed test uses
+//! the real engine backend, where the work is genuinely expensive.
+
+use cubesfc::serve::{
+    http_request, Backend, BackendError, PartitionRequest, RebalanceStepRequest, ServeConfig,
+    Server, ServerHandle,
+};
+use cubesfc::EngineBackend;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A backend whose computations block until the test opens the gate,
+/// counting every invocation.
+struct GatedBackend {
+    computes: AtomicUsize,
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GatedBackend {
+    fn new() -> GatedBackend {
+        GatedBackend {
+            computes: AtomicUsize::new(0),
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn computes(&self) -> usize {
+        self.computes.load(Ordering::SeqCst)
+    }
+}
+
+impl Backend for GatedBackend {
+    fn partition(&self, req: &PartitionRequest) -> Result<String, BackendError> {
+        self.computes.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        Ok(format!("{{\"echo\":{}}}", req.nproc))
+    }
+
+    fn rebalance_step(&self, _req: &RebalanceStepRequest) -> Result<String, BackendError> {
+        Ok("{}".to_string())
+    }
+}
+
+fn start(config: ServeConfig, backend: Arc<dyn Backend>) -> (ServerHandle, SocketAddr) {
+    let handle = Server::start(config, backend).expect("bind");
+    let addr = handle.local_addr();
+    (handle, addr)
+}
+
+fn partition_body(nproc: usize) -> String {
+    format!("{{\"ne\": 16, \"nproc\": {nproc}, \"method\": \"kway\", \"seed\": 7}}")
+}
+
+fn post_partition(addr: SocketAddr, body: String) -> std::thread::JoinHandle<(u16, String)> {
+    std::thread::spawn(move || {
+        let resp = http_request(addr, "POST", "/v1/partition", Some(&body), TIMEOUT).unwrap();
+        let cache = resp.header("x-cubesfc-cache").unwrap_or("").to_string();
+        (resp.status, cache)
+    })
+}
+
+fn spin_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + TIMEOUT;
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn cache_hits_are_an_order_of_magnitude_faster_than_cold_misses() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+
+    // Cold misses: distinct seeds of a METIS-family method at Ne=16 so
+    // every request is a genuinely fresh multilevel partition.
+    let mut cold_worst = Duration::ZERO;
+    for seed in 0..4u64 {
+        let body = format!("{{\"ne\": 16, \"nproc\": 96, \"method\": \"kway\", \"seed\": {seed}}}");
+        let t0 = Instant::now();
+        let resp = http_request(addr, "POST", "/v1/partition", Some(&body), TIMEOUT).unwrap();
+        let dt = t0.elapsed();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cubesfc-cache"), Some("miss"));
+        cold_worst = cold_worst.max(dt);
+    }
+
+    // Hits: hammer one of those keys; every response must come from the
+    // result cache and even the slowest must beat the cold p99 tenfold.
+    let body = "{\"ne\": 16, \"nproc\": 96, \"method\": \"kway\", \"seed\": 0}".to_string();
+    let mut hit_worst = Duration::ZERO;
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        let resp = http_request(addr, "POST", "/v1/partition", Some(&body), TIMEOUT).unwrap();
+        let dt = t0.elapsed();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cubesfc-cache"), Some("hit"));
+        hit_worst = hit_worst.max(dt);
+    }
+
+    assert!(
+        cold_worst >= hit_worst * 10,
+        "cold worst-case {cold_worst:?} is not 10x the cache-hit worst-case {hit_worst:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn identical_concurrent_requests_compute_exactly_once() {
+    let backend = Arc::new(GatedBackend::new());
+    let (handle, addr) = start(
+        ServeConfig {
+            workers: 8,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&backend) as Arc<dyn Backend>,
+    );
+
+    // Leader in flight, gate closed.
+    let leader = post_partition(addr, partition_body(96));
+    spin_until("leader to reach the backend", || backend.computes() == 1);
+
+    // Three identical followers; wait until all are provably blocked on
+    // the leader's flight before releasing, so coalescing is observed,
+    // not raced.
+    let followers: Vec<_> = (0..3)
+        .map(|_| post_partition(addr, partition_body(96)))
+        .collect();
+    spin_until("followers to coalesce", || handle.coalesced_waiting() == 3);
+    backend.open();
+
+    let (status, cache) = leader.join().unwrap();
+    assert_eq!((status, cache.as_str()), (200, "miss"));
+    for f in followers {
+        let (status, cache) = f.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(cache, "coalesced");
+    }
+    assert_eq!(
+        backend.computes(),
+        1,
+        "identical requests must compute once"
+    );
+
+    // A later identical request is served from the result cache without
+    // touching the backend at all.
+    let (status, cache) = post_partition(addr, partition_body(96)).join().unwrap();
+    assert_eq!((status, cache.as_str()), (200, "hit"));
+    assert_eq!(backend.computes(), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn saturating_the_queue_sheds_429_while_admitted_work_completes() {
+    let backend = Arc::new(GatedBackend::new());
+    let (handle, addr) = start(
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&backend) as Arc<dyn Backend>,
+    );
+
+    // First request occupies the single worker (blocked in the gate);
+    // second sits in the single queue slot.
+    let in_flight = post_partition(addr, partition_body(6));
+    spin_until("worker to pick up the first request", || {
+        backend.computes() == 1
+    });
+    let queued = post_partition(addr, partition_body(12));
+    spin_until("second request to queue", || handle.queue_depth() == 1);
+
+    // The queue is now full: further connections are refused with 429 +
+    // Retry-After straight from the acceptor.
+    let resp = http_request(
+        addr,
+        "POST",
+        "/v1/partition",
+        Some(&partition_body(24)),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body.contains("cubesfc-serve-v1"));
+
+    // Shedding did not disturb admitted work: both complete once the
+    // gate opens.
+    backend.open();
+    assert_eq!(in_flight.join().unwrap().0, 200);
+    assert_eq!(queued.join().unwrap().0, 200);
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn shutdown_under_load_drains_every_admitted_request() {
+    let backend = Arc::new(GatedBackend::new());
+    let (handle, addr) = start(
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&backend) as Arc<dyn Backend>,
+    );
+
+    // Six clients with distinct keys: two reach the workers (blocked in
+    // the gate), four wait in the queue.
+    let clients: Vec<_> = (1..=6)
+        .map(|i| post_partition(addr, partition_body(6 * i)))
+        .collect();
+    spin_until("both workers busy", || backend.computes() == 2);
+    spin_until("remaining requests queued", || handle.queue_depth() == 4);
+
+    // Initiate shutdown while all six are outstanding, then release the
+    // backend: the drain must answer every admitted request.
+    let drainer = std::thread::spawn(move || handle.shutdown());
+    backend.open();
+    for c in clients {
+        assert_eq!(c.join().unwrap().0, 200, "an admitted request was dropped");
+    }
+    let stats = drainer.join().unwrap();
+    assert_eq!(stats.accepted, 6);
+    assert_eq!(stats.completed, 6, "drain must complete all admitted work");
+    assert_eq!(backend.computes(), 6);
+}
+
+#[test]
+fn requests_that_outlive_their_deadline_get_504() {
+    let backend = Arc::new(GatedBackend::new());
+    let (handle, addr) = start(
+        ServeConfig {
+            workers: 1,
+            deadline: Duration::from_millis(150),
+            ..ServeConfig::default()
+        },
+        Arc::clone(&backend) as Arc<dyn Backend>,
+    );
+
+    // Occupy the only worker past the second request's deadline.
+    let blocker = post_partition(addr, partition_body(6));
+    spin_until("worker to pick up the blocker", || backend.computes() == 1);
+    let late = post_partition(addr, partition_body(12));
+    spin_until("late request to queue", || handle.queue_depth() == 1);
+    std::thread::sleep(Duration::from_millis(250));
+    backend.open();
+
+    assert_eq!(blocker.join().unwrap().0, 200);
+    let (status, _) = late.join().unwrap();
+    assert_eq!(status, 504, "expired queue time must be answered with 504");
+    assert_eq!(
+        backend.computes(),
+        1,
+        "expired work must not reach the backend"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_bodies_are_rejected_with_structured_errors() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+
+    // Not JSON at all.
+    let resp = http_request(addr, "POST", "/v1/partition", Some("{not json"), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"error\""), "body: {}", resp.body);
+
+    // Pathologically deep nesting: rejected by the depth limit, not a
+    // stack overflow.
+    let deep = format!("{}1{}", "[".repeat(5000), "]".repeat(5000));
+    let resp = http_request(addr, "POST", "/v1/partition", Some(&deep), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("nesting"), "body: {}", resp.body);
+
+    // Valid JSON, invalid request shape / bounds.
+    for body in [
+        "[1, 2, 3]",
+        "{\"nproc\": 4}",
+        "{\"ne\": 0, \"nproc\": 4}",
+        "{\"ne\": 4, \"nproc\": 4, \"method\": \"voronoi\"}",
+        "{\"ne\": 4, \"nproc\": 4000}",
+    ] {
+        let resp = http_request(addr, "POST", "/v1/partition", Some(body), TIMEOUT).unwrap();
+        assert_eq!(resp.status, 400, "body {body:?} must be rejected");
+        assert!(resp.body.contains("cubesfc-serve-v1"));
+    }
+
+    // An over-declared Content-Length is refused before the body is
+    // read (413), and a POST without one is refused outright (411).
+    let resp = http_request(addr, "POST", "/v1/partition", Some(""), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 400, "empty body is a parse error, not a hang");
+    let huge = vec![b' '; 16];
+    let mut raw_req =
+        String::from("POST /v1/partition HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+    raw_req.push_str(std::str::from_utf8(&huge).unwrap());
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        stream.write_all(raw_req.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 413"), "got: {out:.60}");
+    }
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        stream
+            .write_all(b"POST /v1/partition HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 411"), "got: {out:.60}");
+    }
+
+    // Wrong method on a known route.
+    let resp = http_request(addr, "GET", "/v1/partition", None, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_reports_cache_and_queue_counters() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+    let body = "{\"ne\": 4, \"nproc\": 8, \"method\": \"sfc\"}";
+    for _ in 0..3 {
+        let resp = http_request(addr, "POST", "/v1/partition", Some(body), TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let resp = http_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = cubesfc::obs::json_parse(&resp.body).unwrap();
+    let counters = doc.get("counters").unwrap();
+    assert_eq!(
+        counters.get("serve/cache_misses").unwrap().as_u64(),
+        Some(1)
+    );
+    assert_eq!(counters.get("serve/cache_hits").unwrap().as_u64(), Some(2));
+    assert_eq!(
+        counters.get("serve/backend_computes").unwrap().as_u64(),
+        Some(1)
+    );
+    assert!(counters.get("serve/requests").unwrap().as_u64().unwrap() >= 4);
+    handle.shutdown();
+}

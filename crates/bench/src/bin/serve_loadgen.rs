@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p cubesfc-bench --release --bin serve_loadgen \
 //!     [OUT.json] [--clients N] [--requests N] [--ne NE]
+//!     [--access-log PATH]
 //! cargo run -p cubesfc-bench --bin serve_loadgen -- --probe HOST:PORT
 //! ```
 //!
@@ -16,17 +17,29 @@
 //! plus the server's own cache/coalescing counters. The human-readable
 //! summary goes to stderr.
 //!
+//! With `--access-log PATH` every client stamps its requests with a
+//! known `x-cubesfc-request-id`, the server records the structured
+//! `cubesfc-access-v1` log, and after the drain the harness
+//! cross-checks the log against the client's own books: one `ok` line
+//! per successful request, one 429 line per shed request, and per line
+//! `queue_us + service_us` bounded by the latency the client measured.
+//! Any violation exits nonzero; the verdict is folded into the bench
+//! document and the NDJSON itself lands at `PATH`.
+//!
 //! **Probe mode** (`--probe ADDR`): exercises an already-running server
-//! — health, a partition round-trip, a malformed body (must be 400), an
-//! unknown route (404), and `/metrics` — and exits nonzero on any
-//! contract violation. CI uses this as the serve smoke gate.
+//! — health, readiness, a partition round-trip, a malformed body (must
+//! be 400), an unknown route (404), `/metrics` in both JSON and
+//! Prometheus text form, `/statusz`, and the request-ID echo — and
+//! exits nonzero on any contract violation. CI uses this as the serve
+//! smoke gate.
 
-use cubesfc::serve::{http_request, ServeConfig, Server};
+use cubesfc::serve::{http_request, http_request_with_headers, ServeConfig, Server};
 use cubesfc::EngineBackend;
 use cubesfc_obs::{HistogramSnapshot, Registry};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -37,6 +50,8 @@ struct Config {
     requests: usize,
     ne: usize,
     probe: Option<String>,
+    /// Record and verify the `cubesfc-access-v1` log, writing it here.
+    access_log: Option<String>,
 }
 
 fn parse_config() -> Result<Config, String> {
@@ -46,6 +61,7 @@ fn parse_config() -> Result<Config, String> {
         requests: 40,
         ne: 8,
         probe: None,
+        access_log: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -72,6 +88,7 @@ fn parse_config() -> Result<Config, String> {
                     .map_err(|e| format!("--ne: {e}"))?
             }
             "--probe" => cfg.probe = Some(it.next().ok_or("--probe needs HOST:PORT")?),
+            "--access-log" => cfg.access_log = Some(it.next().ok_or("--access-log needs a path")?),
             other if !other.starts_with('-') => cfg.out = other.to_string(),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -170,6 +187,64 @@ fn probe(addr: SocketAddr) -> usize {
         ),
         Err(e) => check("metrics snapshot is served", false, e.to_string()),
     }
+    match http_request(addr, "GET", "/readyz", None, TIMEOUT) {
+        Ok(r) => check(
+            "readyz is 200 while serving",
+            r.status == 200 && r.body.contains("\"status\":\"ready\""),
+            format!("status {} body {}", r.status, r.body),
+        ),
+        Err(e) => check("readyz is 200 while serving", false, e.to_string()),
+    }
+    match http_request(addr, "GET", "/statusz", None, TIMEOUT) {
+        Ok(r) => check(
+            "statusz renders the operator summary",
+            r.status == 200 && r.body.contains("ready:") && r.body.contains("queue:"),
+            format!("status {} body {:.80}", r.status, r.body),
+        ),
+        Err(e) => check("statusz renders the operator summary", false, e.to_string()),
+    }
+    match http_request_with_headers(
+        addr,
+        "GET",
+        "/metrics",
+        &[("accept", "text/plain")],
+        None,
+        TIMEOUT,
+    ) {
+        Ok(r) => check(
+            "metrics negotiates Prometheus text",
+            r.status == 200
+                && r.body.contains("# TYPE")
+                && r.header("content-type")
+                    .is_some_and(|ct| ct.starts_with("text/plain")),
+            format!(
+                "status {} content-type {:?} body {:.60}",
+                r.status,
+                r.header("content-type"),
+                r.body
+            ),
+        ),
+        Err(e) => check("metrics negotiates Prometheus text", false, e.to_string()),
+    }
+    match http_request_with_headers(
+        addr,
+        "GET",
+        "/healthz",
+        &[("x-cubesfc-request-id", "probe-echo-1")],
+        None,
+        TIMEOUT,
+    ) {
+        Ok(r) => check(
+            "client request id is echoed",
+            r.status == 200 && r.header("x-cubesfc-request-id") == Some("probe-echo-1"),
+            format!(
+                "status {} id {:?}",
+                r.status,
+                r.header("x-cubesfc-request-id")
+            ),
+        ),
+        Err(e) => check("client request id is echoed", false, e.to_string()),
+    }
     failures
 }
 
@@ -185,7 +260,76 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// Verified access-log totals, folded into the bench document.
+struct AccessVerdict {
+    lines: u64,
+    ok: u64,
+    rejected: u64,
+}
+
+/// Cross-check the recorded `cubesfc-access-v1` log against the
+/// client's own books and write the NDJSON to `path`. The bound on
+/// `queue_us + service_us` holds structurally — the client's clock
+/// starts before connect and stops after the full read — so the slack
+/// only covers clock granularity.
+fn verify_access_log(
+    path: &str,
+    total_ok: u64,
+    rejected: u64,
+    client_us: &HashMap<String, u64>,
+) -> Result<AccessVerdict, String> {
+    const SLACK_US: u64 = 1_000;
+    let log = cubesfc_obs::access_log();
+    if log.dropped() > 0 {
+        return Err(format!(
+            "access ring shed {} record(s); shrink the run to verify the log",
+            log.dropped()
+        ));
+    }
+    let text = log.export_ndjson();
+    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+    let records = cubesfc_obs::parse_access(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let ok_lines: Vec<_> = records
+        .iter()
+        .filter(|r| r.endpoint == "partition" && r.outcome == "ok")
+        .collect();
+    let rejected_lines = records.iter().filter(|r| r.status == 429).count() as u64;
+    if ok_lines.len() as u64 != total_ok {
+        return Err(format!(
+            "access log has {} ok partition line(s), client saw {total_ok}",
+            ok_lines.len()
+        ));
+    }
+    if rejected_lines != rejected {
+        return Err(format!(
+            "access log has {rejected_lines} 429 line(s), client saw {rejected}"
+        ));
+    }
+    for r in &ok_lines {
+        let client = *client_us
+            .get(&r.id)
+            .ok_or_else(|| format!("access log id {:?} was never sent by a client", r.id))?;
+        let server = r.queue_us + r.service_us;
+        if server > client + SLACK_US {
+            return Err(format!(
+                "id {:?}: server accounts for {server}us (queue {} + service {}) \
+                 but the client only measured {client}us",
+                r.id, r.queue_us, r.service_us
+            ));
+        }
+    }
+    Ok(AccessVerdict {
+        lines: records.len() as u64,
+        ok: ok_lines.len() as u64,
+        rejected: rejected_lines,
+    })
+}
+
 fn closed_loop(cfg: &Config) -> Result<(), String> {
+    if cfg.access_log.is_some() {
+        cubesfc_obs::set_access_enabled(true);
+    }
     let backend = Arc::new(EngineBackend::new());
     let handle = Server::start(
         ServeConfig {
@@ -210,6 +354,9 @@ fn closed_loop(cfg: &Config) -> Result<(), String> {
     let nelem = 6 * cfg.ne * cfg.ne;
     let ladder: Vec<usize> = (1..=nelem).filter(|p| nelem.is_multiple_of(*p)).collect();
 
+    // The client's own books: request ID → measured latency, for the
+    // access-log cross-check after the drain.
+    let client_us: Mutex<HashMap<String, u64>> = Mutex::new(HashMap::new());
     let started = Instant::now();
     let mut errors = 0usize;
     std::thread::scope(|scope| {
@@ -217,6 +364,7 @@ fn closed_loop(cfg: &Config) -> Result<(), String> {
             .map(|c| {
                 let latencies = &latencies;
                 let ladder = &ladder;
+                let client_us = &client_us;
                 scope.spawn(move || {
                     let mut errors = 0usize;
                     for r in 0..cfg.requests {
@@ -228,12 +376,27 @@ fn closed_loop(cfg: &Config) -> Result<(), String> {
                             "{{\"ne\": {}, \"nproc\": {nproc}, \"method\": \"sfc\"}}",
                             cfg.ne
                         );
+                        let id = format!("c{c:03}-r{r:04}");
                         let t0 = Instant::now();
-                        let resp =
-                            http_request(addr, "POST", "/v1/partition", Some(&body), TIMEOUT);
+                        let resp = http_request_with_headers(
+                            addr,
+                            "POST",
+                            "/v1/partition",
+                            &[("x-cubesfc-request-id", &id)],
+                            Some(&body),
+                            TIMEOUT,
+                        );
                         let us = t0.elapsed().as_micros() as u64;
                         match resp {
                             Ok(resp) if resp.status == 200 => {
+                                if resp.header("x-cubesfc-request-id") != Some(id.as_str()) {
+                                    eprintln!(
+                                        "request id {id} not echoed (got {:?})",
+                                        resp.header("x-cubesfc-request-id")
+                                    );
+                                    errors += 1;
+                                }
+                                client_us.lock().unwrap().insert(id, us);
                                 latencies.histogram_record("loadgen/latency_us", us);
                                 let class = match resp.header("x-cubesfc-cache") {
                                     Some("hit") => "hit",
@@ -296,6 +459,29 @@ fn closed_loop(cfg: &Config) -> Result<(), String> {
         "server: cache_hits={hits} cache_misses={misses} coalesced={coalesced} computes={computes}"
     );
 
+    // Drain before reading the access log: records are written after
+    // the response bytes, so only a full drain guarantees the log is
+    // complete.
+    let stats = handle.shutdown();
+    if stats.completed < stats.accepted {
+        return Err(format!(
+            "drain dropped work: accepted={} completed={}",
+            stats.accepted, stats.completed
+        ));
+    }
+    let access = match &cfg.access_log {
+        Some(path) => {
+            let books = client_us.into_inner().map_err(|e| e.to_string())?;
+            let verdict = verify_access_log(path, total_ok, rejected, &books)?;
+            eprintln!(
+                "access log verified: {} line(s), {} ok, {} shed ({path})",
+                verdict.lines, verdict.ok, verdict.rejected
+            );
+            Some(verdict)
+        }
+        None => None,
+    };
+
     let mut out = format!(
         "{{\"schema\":\"cubesfc-serve-bench-v1\",\"ne\":{},\"clients\":{},\"requests_per_client\":{},\
          \"ok\":{total_ok},\"rejected_429\":{rejected},\"errors\":{errors},\
@@ -329,17 +515,17 @@ fn closed_loop(cfg: &Config) -> Result<(), String> {
             fmt_f64(p99)
         ));
     }
-    out.push_str("}}");
+    out.push('}');
+    if let Some(v) = &access {
+        out.push_str(&format!(
+            ",\"access_log\":{{\"lines\":{},\"ok\":{},\"rejected_429\":{},\"verified\":true}}",
+            v.lines, v.ok, v.rejected
+        ));
+    }
+    out.push('}');
     std::fs::write(&cfg.out, &out).map_err(|e| format!("{}: {e}", cfg.out))?;
     eprintln!("(serve bench written to {})", cfg.out);
 
-    let stats = handle.shutdown();
-    if stats.completed < stats.accepted {
-        return Err(format!(
-            "drain dropped work: accepted={} completed={}",
-            stats.accepted, stats.completed
-        ));
-    }
     if errors > 0 {
         return Err(format!("{errors} request(s) failed"));
     }
@@ -353,6 +539,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: serve_loadgen [OUT.json] [--clients N] [--requests N] [--ne NE]\n\
+                 \t  [--access-log PATH]\n\
                  \tserve_loadgen --probe HOST:PORT"
             );
             return ExitCode::from(2);

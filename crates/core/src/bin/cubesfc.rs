@@ -19,6 +19,8 @@
 //!                       [--threshold PCT] [--report-only]
 //! cubesfc serve     [--addr HOST:PORT] [--workers N] [--queue N]
 //!                   [--cache-entries N] [--deadline-ms MS]
+//!                   [--access-log[=PATH]]
+//! cubesfc top URL   [--interval-ms N] [--once]
 //! ```
 //!
 //! `rebalance` simulates a time-varying load (`--trajectory`) over
@@ -99,6 +101,25 @@
 //! in-flight requests before the process exits 0. `--telemetry` and
 //! `--profile` observe the server like any other command.
 //!
+//! `--access-log[=PATH]` (or `CUBESFC_ACCESS_LOG`) records one
+//! structured `cubesfc-access-v1` NDJSON line per request — request ID,
+//! endpoint, status, cache class, queue-wait and service microseconds,
+//! byte counts, and outcome — written to `PATH` when the server drains
+//! (default `cubesfc-access.ndjson`). In the environment, empty or `0`
+//! disables, `1`/`true` use the default path, any other value is the
+//! path; the flag wins. Every response also echoes its request ID in
+//! `x-cubesfc-request-id` (client-supplied via the same header, else a
+//! server-assigned sequence number), so a log line can be matched to
+//! the client that saw it.
+//!
+//! `top URL` polls a running server's `GET /metrics` endpoint and
+//! renders a live terminal dashboard: requests/s, queue depth,
+//! in-flight worker utilization, cache hit ratio, and per-cache-class
+//! latency quantiles with sparkline history. `--interval-ms` sets the
+//! poll cadence (default 1000), `--once` prints a single frame without
+//! clearing the screen and exits — the scriptable form used by the CI
+//! smoke test.
+//!
 //! The assignment output format is one line per element: `elem part`.
 
 use cubesfc::report::PartitionReport;
@@ -167,6 +188,12 @@ struct Args {
     cache_entries: usize,
     /// Per-request deadline for `serve`, in milliseconds.
     deadline_ms: u64,
+    /// Access-log output path for `serve` (`--access-log[=PATH]`).
+    access_log: Option<String>,
+    /// Poll cadence for `top`, in milliseconds.
+    interval_ms: u64,
+    /// Print one `top` frame and exit (`--once`).
+    once: bool,
 }
 
 /// What to do with the profile when the command finishes.
@@ -207,7 +234,9 @@ fn usage() -> ExitCode {
          \tcubesfc trace analyze FILE.json [--json PATH] [--baseline OLD.json]\n\
          \t  [--threshold PCT] [--report-only]\n\
          \tcubesfc serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \t  [--cache-entries N] [--deadline-ms MS]\n\
+         \t  [--cache-entries N] [--deadline-ms MS] [--access-log[=PATH]]\n\
+         \t  (or CUBESFC_ACCESS_LOG=1|PATH; default cubesfc-access.ndjson)\n\
+         \tcubesfc top URL [--interval-ms N] [--once]\n\
          \tcubesfc --version"
     );
     ExitCode::from(2)
@@ -252,6 +281,9 @@ fn parse_args() -> Result<Args, String> {
         queue: 64,
         cache_entries: 256,
         deadline_ms: 30_000,
+        access_log: None,
+        interval_ms: 1000,
+        once: false,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -448,6 +480,19 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.deadline_ms = n;
             }
+            "--access-log" => args.access_log = Some("cubesfc-access.ndjson".to_string()),
+            "--interval-ms" => {
+                let n: u64 = it
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                if n == 0 {
+                    return Err("--interval-ms must be positive".into());
+                }
+                args.interval_ms = n;
+            }
+            "--once" => args.once = true,
             other if other.starts_with("--checkpoint=") => {
                 let p = &other["--checkpoint=".len()..];
                 if p.is_empty() {
@@ -461,6 +506,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--telemetry= needs a non-empty path".into());
                 }
                 args.telemetry_path = Some(p.to_string());
+            }
+            other if other.starts_with("--access-log=") => {
+                let p = &other["--access-log=".len()..];
+                if p.is_empty() {
+                    return Err("--access-log= needs a non-empty path".into());
+                }
+                args.access_log = Some(p.to_string());
             }
             other if !other.starts_with('-') => args.paths.push(other.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
@@ -485,6 +537,11 @@ fn parse_args() -> Result<Args, String> {
         "chaos" => {
             if args.paths.len() != 1 {
                 return Err("chaos needs exactly one report path: chaos FILE.json".into());
+            }
+        }
+        "top" => {
+            if args.paths.len() != 1 {
+                return Err("top needs exactly one server URL: top http://HOST:PORT".into());
             }
         }
         _ => {
@@ -578,6 +635,35 @@ fn telemetry_sink(args: &Args) -> Option<TelemetrySink> {
             ndjson_path: Some(path.to_string()),
         }),
     }
+}
+
+/// Combine `--access-log[=PATH]` and `CUBESFC_ACCESS_LOG` into the
+/// access-log output path (or none). The flag wins; in the
+/// environment, empty or `0` disables, `1`/`true` use the default
+/// path, and any other value is the path.
+fn access_sink(args: &Args) -> Option<String> {
+    if args.access_log.is_some() {
+        return args.access_log.clone();
+    }
+    match std::env::var("CUBESFC_ACCESS_LOG")
+        .unwrap_or_default()
+        .as_str()
+    {
+        "" | "0" => None,
+        "1" | "true" => Some("cubesfc-access.ndjson".to_string()),
+        path => Some(path.to_string()),
+    }
+}
+
+/// Export the recorded access log as `cubesfc-access-v1` NDJSON.
+fn write_access_log(path: &str) -> Result<(), String> {
+    let log = cubesfc_obs::access_log();
+    std::fs::write(path, log.export_ndjson()).map_err(|e| format!("{path}: {e}"))?;
+    let dropped = log.dropped();
+    if dropped > 0 {
+        eprintln!("access log: {dropped} record(s) shed (ring full); counts remain exact");
+    }
+    Ok(())
 }
 
 fn write_profile(sink: &ProfileSink) -> Result<(), String> {
@@ -1010,6 +1096,18 @@ fn run_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Poll a running server's `/metrics` endpoint and render the live
+/// dashboard (or, with `--once`, a single deterministic frame).
+fn run_top_cmd(args: &Args) -> Result<(), String> {
+    install_shutdown_signals();
+    cubesfc::top::run_top(
+        &args.paths[0],
+        std::time::Duration::from_millis(args.interval_ms),
+        args.once,
+        &SERVE_STOP,
+    )
+}
+
 fn run(args: Args) -> Result<(), CliError> {
     if args.command == "compare" {
         return run_compare(&args);
@@ -1025,6 +1123,9 @@ fn run(args: Args) -> Result<(), CliError> {
     }
     if args.command == "serve" {
         return run_serve(&args).map_err(CliError::Runtime);
+    }
+    if args.command == "top" {
+        return run_top_cmd(&args).map_err(CliError::Runtime);
     }
     run_mesh_command(args)
 }
@@ -1143,8 +1244,18 @@ fn main() -> ExitCode {
             };
             let trace_path = trace_sink(&args.trace);
             let telem = telemetry_sink(&args);
+            // The access log is a serve-side artifact: one line per
+            // HTTP request, exported when the server drains.
+            let access_path = if args.command == "serve" {
+                access_sink(&args)
+            } else {
+                None
+            };
             if sink.is_some() {
                 cubesfc_obs::set_enabled(true);
+            }
+            if access_path.is_some() {
+                cubesfc_obs::set_access_enabled(true);
             }
             if trace_path.is_some() {
                 cubesfc_obs::set_trace_enabled(true);
@@ -1172,6 +1283,12 @@ fn main() -> ExitCode {
             if let Some(telem) = &telem {
                 if let Err(e) = write_telemetry(telem) {
                     eprintln!("error: telemetry export failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(path) = &access_path {
+                if let Err(e) = write_access_log(path) {
+                    eprintln!("error: access-log export failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

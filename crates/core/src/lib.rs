@@ -55,6 +55,7 @@ pub mod repartition;
 pub mod report;
 pub mod service;
 pub mod sfc_partition;
+pub mod top;
 pub mod viz;
 
 pub use dynamics::MethodRepartitioner;

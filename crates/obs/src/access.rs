@@ -1,0 +1,317 @@
+//! Structured access logging: the `cubesfc-access-v1` NDJSON stream.
+//!
+//! One [`AccessRecord`] per served request — request ID, endpoint,
+//! status, cache class, queue-wait and service microseconds, byte
+//! counts, and a coarse outcome (`ok|rejected|deadline|error`). Records
+//! live in a bounded [`Ring`](crate::series::Ring) with an exact
+//! dropped counter (the same drop-with-exact-count contract the event
+//! and telemetry buffers honor), so a busy server sheds old lines
+//! instead of growing without bound.
+//!
+//! Serialization is hand-rolled with a fixed field order, so identical
+//! records produce identical bytes: the stream is diffable modulo the
+//! timing fields. The global log behind [`crate::access_record`] is
+//! gated by a flag bit and costs one relaxed atomic load (and
+//! allocates nothing) when off.
+
+use crate::json::escape;
+use crate::series::Ring;
+use crate::value::JsonValue;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Schema tag carried by every access-log NDJSON line.
+pub const ACCESS_SCHEMA: &str = "cubesfc-access-v1";
+
+/// Default bounded capacity of the global access log, in records.
+pub(crate) const DEFAULT_ACCESS_CAPACITY: usize = 1 << 16;
+
+/// One served request, as the access log saw it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Monotonic line sequence number, assigned by the log.
+    pub seq: u64,
+    /// Request ID (client-supplied or server-generated), echoed to the
+    /// client in the `x-cubesfc-request-id` response header.
+    pub id: String,
+    /// Endpoint label (`partition`, `metrics`, ...; `-` when the
+    /// request was answered before it was read).
+    pub endpoint: String,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Cache class (`hit`, `miss`, `coalesced`; `-` when the endpoint
+    /// has no cache).
+    pub cache: String,
+    /// Microseconds spent in the admission queue.
+    pub queue_us: u64,
+    /// Microseconds from dequeue to the response being written.
+    pub service_us: u64,
+    /// Request body bytes (0 when the request was never read).
+    pub bytes_in: u64,
+    /// Response body bytes.
+    pub bytes_out: u64,
+    /// Coarse outcome: `ok`, `rejected` (429), `deadline` (504), or
+    /// `error` (any other 4xx/5xx).
+    pub outcome: String,
+}
+
+impl AccessRecord {
+    /// Serialize as one `cubesfc-access-v1` NDJSON line (no trailing
+    /// newline). Field order is fixed, so identical records produce
+    /// identical bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(160);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{ACCESS_SCHEMA}\",\"seq\":{},\"id\":\"{}\",\"endpoint\":\"{}\",\
+             \"status\":{},\"cache\":\"{}\",\"queue_us\":{},\"service_us\":{},\
+             \"bytes_in\":{},\"bytes_out\":{},\"outcome\":\"{}\"}}",
+            self.seq,
+            escape(&self.id),
+            escape(&self.endpoint),
+            self.status,
+            escape(&self.cache),
+            self.queue_us,
+            self.service_us,
+            self.bytes_in,
+            self.bytes_out,
+            escape(&self.outcome)
+        );
+        s
+    }
+
+    /// Rebuild a record from a parsed NDJSON line.
+    pub fn from_json(doc: &JsonValue) -> Result<AccessRecord, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("missing schema tag")?;
+        if schema != ACCESS_SCHEMA {
+            return Err(format!("schema {schema:?} is not {ACCESS_SCHEMA:?}"));
+        }
+        let str_field = |k: &str| {
+            doc.get(k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing {k}"))
+        };
+        let u64_field = |k: &str| {
+            doc.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("missing {k}"))
+        };
+        Ok(AccessRecord {
+            seq: u64_field("seq")?,
+            id: str_field("id")?,
+            endpoint: str_field("endpoint")?,
+            status: u64_field("status")?
+                .try_into()
+                .map_err(|_| "status out of range".to_string())?,
+            cache: str_field("cache")?,
+            queue_us: u64_field("queue_us")?,
+            service_us: u64_field("service_us")?,
+            bytes_in: u64_field("bytes_in")?,
+            bytes_out: u64_field("bytes_out")?,
+            outcome: str_field("outcome")?,
+        })
+    }
+}
+
+/// Parse a whole `cubesfc-access-v1` NDJSON stream (blank lines
+/// ignored). Errors carry the 1-based line number.
+pub fn parse_access(text: &str) -> Result<Vec<AccessRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = crate::value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(AccessRecord::from_json(&doc).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+struct AccessState {
+    seq: u64,
+    ring: Ring<AccessRecord>,
+}
+
+/// A bounded, drop-counting access log. Explicit instances always
+/// record; the process-global one (see [`crate::access_record`]) is
+/// gated behind the flag byte.
+pub struct AccessLog {
+    state: Mutex<AccessState>,
+}
+
+impl AccessLog {
+    /// A log retaining at most `capacity` records (newest win).
+    pub fn new(capacity: usize) -> AccessLog {
+        AccessLog {
+            state: Mutex::new(AccessState {
+                seq: 0,
+                ring: Ring::new(capacity),
+            }),
+        }
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, AccessState> {
+        self.state.lock().expect("access log poisoned")
+    }
+
+    /// Append one record, assigning its sequence number. Returns the
+    /// assigned `seq`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &self,
+        id: &str,
+        endpoint: &str,
+        status: u16,
+        cache: &str,
+        queue_us: u64,
+        service_us: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+        outcome: &str,
+    ) -> u64 {
+        let mut st = self.state();
+        let seq = st.seq;
+        st.seq += 1;
+        st.ring.push(AccessRecord {
+            seq,
+            id: id.to_string(),
+            endpoint: endpoint.to_string(),
+            status,
+            cache: cache.to_string(),
+            queue_us,
+            service_us,
+            bytes_in,
+            bytes_out,
+            outcome: outcome.to_string(),
+        });
+        seq
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> Vec<AccessRecord> {
+        self.state().ring.iter().cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.state().ring.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.state().ring.is_empty()
+    }
+
+    /// Exact number of records evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.state().ring.dropped()
+    }
+
+    /// Export the retained window as `cubesfc-access-v1` NDJSON (one
+    /// line per record, trailing newline).
+    pub fn export_ndjson(&self) -> String {
+        let st = self.state();
+        let mut out = String::new();
+        for r in st.ring.iter() {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clear all records, the dropped counter, and the sequence.
+    pub fn reset(&self) {
+        let mut st = self.state();
+        st.seq = 0;
+        st.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64) -> AccessRecord {
+        AccessRecord {
+            seq,
+            id: format!("r{seq:06}"),
+            endpoint: "partition".to_string(),
+            status: 200,
+            cache: "hit".to_string(),
+            queue_us: 12,
+            service_us: 340,
+            bytes_in: 48,
+            bytes_out: 96,
+            outcome: "ok".to_string(),
+        }
+    }
+
+    #[test]
+    fn lines_round_trip_byte_for_byte() {
+        let r = record(3);
+        let line = r.to_json_line();
+        let doc = crate::value::parse(&line).unwrap();
+        let back = AccessRecord::from_json(&doc).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json_line(), line);
+        // Identical records are byte-identical: the stream is stable
+        // modulo the timing fields.
+        assert_eq!(record(3).to_json_line(), line);
+    }
+
+    #[test]
+    fn line_has_fixed_field_order() {
+        let line = record(0).to_json_line();
+        assert_eq!(
+            line,
+            "{\"schema\":\"cubesfc-access-v1\",\"seq\":0,\"id\":\"r000000\",\
+             \"endpoint\":\"partition\",\"status\":200,\"cache\":\"hit\",\
+             \"queue_us\":12,\"service_us\":340,\"bytes_in\":48,\"bytes_out\":96,\
+             \"outcome\":\"ok\"}"
+        );
+    }
+
+    #[test]
+    fn log_assigns_sequence_and_counts_drops_exactly() {
+        let log = AccessLog::new(3);
+        for i in 0..8u64 {
+            let seq = log.push(&format!("c{i}"), "metrics", 200, "-", 1, 2, 0, 10, "ok");
+            assert_eq!(seq, i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 5);
+        let seqs: Vec<u64> = log.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        let text = log.export_ndjson();
+        assert_eq!(text.lines().count(), 3);
+        let parsed = parse_access(&text).unwrap();
+        assert_eq!(parsed, log.records());
+        log.reset();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.push("x", "-", 429, "-", 0, 0, 0, 0, "rejected"), 0);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected_with_line_numbers() {
+        assert!(parse_access("").unwrap().is_empty());
+        let err = parse_access("{\"schema\":\"nope\"}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let good = record(0).to_json_line();
+        let err = parse_access(&format!("{good}\nnot json\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn hostile_ids_escape_cleanly() {
+        let mut r = record(0);
+        r.id = "weird \"id\"\nwith\\stuff".to_string();
+        let line = r.to_json_line();
+        let doc = crate::value::parse(&line).unwrap();
+        assert_eq!(AccessRecord::from_json(&doc).unwrap(), r);
+    }
+}

@@ -129,6 +129,13 @@ impl Tracer {
         }
     }
 
+    /// The tracer's current time in nanoseconds, from its injected
+    /// clock. Lets callers back-fill slices with [`Lane::slice_at`]
+    /// using timestamps consistent with live-recorded events.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
     /// Register (or look up) a lane by name. Lane ids are assigned in
     /// registration order and name each timeline row in the export.
     pub fn lane(&self, name: &str) -> Lane {

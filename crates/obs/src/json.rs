@@ -20,7 +20,8 @@
 //! given snapshot. All numbers are unsigned integers (no floats, so no
 //! formatting ambiguity).
 
-use crate::snapshot::Snapshot;
+use crate::snapshot::{Bucket, HistogramSnapshot, Snapshot, SpanStat};
+use crate::value::JsonValue;
 
 /// Version tag written to every profile document.
 pub const SCHEMA: &str = "cubesfc-profile-v1";
@@ -119,6 +120,73 @@ impl Snapshot {
         out.push('}');
         out.push('}');
         out
+    }
+
+    /// Rebuild a snapshot from a parsed `cubesfc-profile-v1` document
+    /// (the inverse of [`Snapshot::to_json`]; derived fields like
+    /// `mean_ns` are ignored). This is what lets remote consumers — the
+    /// `cubesfc top` dashboard polling `GET /metrics` — reuse the full
+    /// quantile/render machinery on the wire format.
+    pub fn from_json(doc: &JsonValue) -> Result<Snapshot, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?} is not {SCHEMA:?}"));
+        }
+        let obj = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_obj())
+                .ok_or_else(|| format!("missing {key:?} object"))
+        };
+        let u64_of = |v: &JsonValue, what: &str| {
+            v.as_u64()
+                .ok_or_else(|| format!("{what} is not an unsigned integer"))
+        };
+        let field = |v: &JsonValue, key: &str, what: &str| {
+            u64_of(
+                v.get(key)
+                    .ok_or_else(|| format!("{what} missing {key:?}"))?,
+                what,
+            )
+        };
+
+        let mut snap = Snapshot::default();
+        for (path, t) in obj("timers")? {
+            snap.timers.insert(
+                path.clone(),
+                SpanStat {
+                    count: field(t, "count", path)?,
+                    total_ns: field(t, "total_ns", path)?,
+                    min_ns: field(t, "min_ns", path)?,
+                    max_ns: field(t, "max_ns", path)?,
+                },
+            );
+        }
+        for (name, v) in obj("counters")? {
+            snap.counters.insert(name.clone(), u64_of(v, name)?);
+        }
+        for (name, h) in obj("histograms")? {
+            let mut hist = HistogramSnapshot {
+                count: field(h, "count", name)?,
+                sum: field(h, "sum", name)?,
+                buckets: Vec::new(),
+            };
+            let buckets = h
+                .get("buckets")
+                .and_then(|v| v.as_arr())
+                .ok_or_else(|| format!("{name} missing \"buckets\" array"))?;
+            for b in buckets {
+                hist.buckets.push(Bucket {
+                    lo: field(b, "lo", name)?,
+                    hi: field(b, "hi", name)?,
+                    count: field(b, "count", name)?,
+                });
+            }
+            snap.histograms.insert(name.clone(), hist);
+        }
+        Ok(snap)
     }
 }
 
@@ -263,6 +331,55 @@ mod tests {
         assert!(json.contains("\"partition/coarsen\":{\"count\":2,\"total_ns\":400"));
         assert!(json.contains("\"dss/bytes\":4096"));
         assert!(json.contains("\"buckets\":[{\"lo\":1024,\"hi\":2047,\"count\":2}]"));
+    }
+
+    #[test]
+    fn from_json_round_trips_a_populated_snapshot() {
+        let mut snap = Snapshot::default();
+        let mut stat = SpanStat::new();
+        stat.record(100);
+        stat.record(300);
+        snap.timers.insert("serve/partition".into(), stat);
+        snap.counters.insert("serve/requests".into(), 17);
+        snap.histograms.insert(
+            "serve/latency/partition_us".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 50,
+                buckets: vec![
+                    Bucket {
+                        lo: 8,
+                        hi: 15,
+                        count: 2,
+                    },
+                    Bucket {
+                        lo: 16,
+                        hi: 31,
+                        count: 1,
+                    },
+                ],
+            },
+        );
+        let doc = crate::value::parse(&snap.to_json()).unwrap();
+        let back = Snapshot::from_json(&doc).unwrap();
+        assert_eq!(back, snap);
+        // And the empty document round-trips too.
+        let doc = crate::value::parse(&Snapshot::default().to_json()).unwrap();
+        assert!(Snapshot::from_json(&doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_and_shape() {
+        let doc = crate::value::parse("{\"schema\":\"nope\"}").unwrap();
+        assert!(Snapshot::from_json(&doc).unwrap_err().contains("schema"));
+        let doc = crate::value::parse("{\"schema\":\"cubesfc-profile-v1\",\"timers\":{}}").unwrap();
+        assert!(Snapshot::from_json(&doc).unwrap_err().contains("counters"));
+        let doc = crate::value::parse(
+            "{\"schema\":\"cubesfc-profile-v1\",\"timers\":{},\
+             \"counters\":{\"c\":-1},\"histograms\":{}}",
+        )
+        .unwrap();
+        assert!(Snapshot::from_json(&doc).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ~1ns (and allocate nothing) when unused. Explicit [`Registry`] and
 //! [`Tracer`] instances (used in tests and embedders) always record.
 
+mod access;
 mod analysis;
 mod chrome;
 mod clock;
@@ -36,12 +37,14 @@ mod compare;
 mod events;
 mod health;
 mod json;
+mod prometheus;
 mod render;
 mod series;
 mod snapshot;
 mod telemetry;
 mod value;
 
+pub use access::{parse_access, AccessLog, AccessRecord, ACCESS_SCHEMA};
 pub use analysis::{
     analyze_doc, analyze_trace, compare_analyses, AnalysisCompare, AnalysisDelta, AnalyzeConfig,
     CommModel, CriticalPath, Imbalance, LaneTimeline, RankSummary, Slice, Straggler, TraceAnalysis,
@@ -345,13 +348,14 @@ impl Drop for SpanGuard {
 /// Bit flags for the *global* instrumentation features, checked with a
 /// single relaxed load on every instrumentation call. Bit 0 gates the
 /// metrics registry, bit 1 the event-timeline tracer, bit 2 the
-/// telemetry sampler — one load answers every question, so a call site
-/// never pays more than one atomic read.
+/// telemetry sampler, bit 3 the access log — one load answers every
+/// question, so a call site never pays more than one atomic read.
 static FLAGS: AtomicU8 = AtomicU8::new(0);
 
 const FLAG_METRICS: u8 = 1;
 const FLAG_TRACE: u8 = 1 << 1;
 const FLAG_TELEMETRY: u8 = 1 << 2;
+const FLAG_ACCESS: u8 = 1 << 3;
 
 fn set_flag(bit: u8, on: bool) {
     if on {
@@ -504,9 +508,50 @@ pub fn telemetry_record(lane: &str, step: u64, gauges: &[(&str, f64)], ranks: &[
     telemetry().record(lane, step, gauges, ranks);
 }
 
+/// The process-wide access log used by instrumented serving code:
+/// bounded (default 2^16 records, oldest shed with an exact count).
+pub fn access_log() -> &'static AccessLog {
+    static GLOBAL: OnceLock<AccessLog> = OnceLock::new();
+    GLOBAL.get_or_init(|| AccessLog::new(access::DEFAULT_ACCESS_CAPACITY))
+}
+
+/// Turn global access logging on or off.
+pub fn set_access_enabled(on: bool) {
+    set_flag(FLAG_ACCESS, on);
+}
+
+/// Is global access logging currently on?
+pub fn access_enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_ACCESS != 0
+}
+
+/// Append one request record to the global access log; a single relaxed
+/// load and no allocation when access logging is disabled.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn access_record(
+    id: &str,
+    endpoint: &str,
+    status: u16,
+    cache: &str,
+    queue_us: u64,
+    service_us: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    outcome: &str,
+) {
+    if FLAGS.load(Ordering::Relaxed) & FLAG_ACCESS == 0 {
+        return;
+    }
+    access_log().push(
+        id, endpoint, status, cache, queue_us, service_us, bytes_in, bytes_out, outcome,
+    );
+}
+
 /// [`snapshot`] plus the observability layer's own health counters
-/// (`obs/dropped_events`, `obs/dropped_samples`), so profile exports
-/// say when the bounded buffers were forced to shed data.
+/// (`obs/dropped_events`, `obs/dropped_samples`, `obs/dropped_access`),
+/// so profile exports say when the bounded buffers were forced to shed
+/// data.
 pub fn export_snapshot() -> Snapshot {
     let mut snap = snapshot();
     snap.counters
@@ -515,6 +560,8 @@ pub fn export_snapshot() -> Snapshot {
         "obs/dropped_samples".to_string(),
         telemetry().dropped_samples(),
     );
+    snap.counters
+        .insert("obs/dropped_access".to_string(), access_log().dropped());
     snap
 }
 

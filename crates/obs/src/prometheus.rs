@@ -1,0 +1,301 @@
+//! Prometheus text-format exposition for [`Snapshot`].
+//!
+//! The mapping from registry metrics to Prometheus families:
+//!
+//! * **counters** → `counter` samples — except names containing
+//!   `/gauge/`, the workspace convention for point-in-time values
+//!   injected into a snapshot at scrape time, which are typed `gauge`;
+//! * **span timers** → a `summary` family named `<name>_ns` carrying
+//!   only `_sum` (total nanoseconds) and `_count`;
+//! * **log2 histograms** → a `histogram` family with cumulative
+//!   `_bucket{le="<hi>"}` lines over the occupied buckets (a log2
+//!   bucket `[lo, hi]` is closed over the integers, so `hi` is the
+//!   bucket's inclusive — hence `le` — upper bound), a final `+Inf`
+//!   bucket, then `_sum` and `_count`.
+//!
+//! Registry names are slash-separated paths, which the Prometheus name
+//! charset `[a-zA-Z_:][a-zA-Z0-9_:]*` does not admit; [`prom_name`]
+//! substitutes `_` for every invalid character and prefixes `_` when
+//! the result would start with a digit. Whenever sanitization changed
+//! the name, the original is preserved on every sample as a `path`
+//! label, so two registry names that collide after sanitization stay
+//! distinguishable. Output follows `BTreeMap` order and is byte-stable.
+
+use crate::snapshot::Snapshot;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Sanitize a registry metric name into the Prometheus name charset.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One sample line: `name[_suffix]{labels} value`.
+fn push_sample(out: &mut String, family: &str, suffix: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(family);
+    out.push_str(suffix);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// `# TYPE` line, emitted once per family (two registry names can
+/// sanitize to the same family; the `path` label keeps their samples
+/// apart, but the family may only be declared once).
+fn push_type(out: &mut String, typed: &mut HashSet<String>, family: &str, kind: &str) {
+    if typed.insert(family.to_string()) {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+    }
+}
+
+impl Snapshot {
+    /// Serialize the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). Deterministic: `BTreeMap` order throughout.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut typed: HashSet<String> = HashSet::new();
+
+        for (name, value) in &self.counters {
+            let family = prom_name(name);
+            let kind = if name.contains("/gauge/") {
+                "gauge"
+            } else {
+                "counter"
+            };
+            push_type(&mut out, &mut typed, &family, kind);
+            let labels: Vec<(&str, &str)> = if family == *name {
+                Vec::new()
+            } else {
+                vec![("path", name.as_str())]
+            };
+            push_sample(&mut out, &family, "", &labels, *value);
+        }
+
+        for (name, stat) in &self.timers {
+            let base = prom_name(name);
+            let family = format!("{base}_ns");
+            push_type(&mut out, &mut typed, &family, "summary");
+            let labels: Vec<(&str, &str)> = if base == *name {
+                Vec::new()
+            } else {
+                vec![("path", name.as_str())]
+            };
+            push_sample(&mut out, &family, "_sum", &labels, stat.total_ns);
+            push_sample(&mut out, &family, "_count", &labels, stat.count);
+        }
+
+        for (name, h) in &self.histograms {
+            let family = prom_name(name);
+            push_type(&mut out, &mut typed, &family, "histogram");
+            let path: Option<(&str, &str)> = if family == *name {
+                None
+            } else {
+                Some(("path", name.as_str()))
+            };
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                let le = b.hi.to_string();
+                let mut labels: Vec<(&str, &str)> = Vec::new();
+                if let Some(p) = path {
+                    labels.push(p);
+                }
+                labels.push(("le", le.as_str()));
+                push_sample(&mut out, &family, "_bucket", &labels, cum);
+            }
+            let mut labels: Vec<(&str, &str)> = Vec::new();
+            if let Some(p) = path {
+                labels.push(p);
+            }
+            labels.push(("le", "+Inf"));
+            push_sample(&mut out, &family, "_bucket", &labels, h.count);
+            let plain: Vec<(&str, &str)> = path.into_iter().collect();
+            push_sample(&mut out, &family, "_sum", &plain, h.sum);
+            push_sample(&mut out, &family, "_count", &plain, h.count);
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::snapshot::{Bucket, HistogramSnapshot, Snapshot, SpanStat};
+    use crate::Registry;
+
+    #[test]
+    fn golden_exposition_with_hostile_names() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("9lives".to_string(), 9);
+        snap.counters.insert("say \"hi\"\nok".to_string(), 5);
+        snap.counters
+            .insert("serve/gauge/queue_depth".to_string(), 3);
+        snap.counters.insert("serve/http 429".to_string(), 2);
+        snap.counters.insert("up".to_string(), 1);
+        snap.counters.insert("vitesse média".to_string(), 7);
+        let mut stat = SpanStat::new();
+        stat.record(100);
+        stat.record(50);
+        snap.timers.insert("serve/partition".to_string(), stat);
+        snap.histograms.insert(
+            "serve/latency/partition_us".to_string(),
+            HistogramSnapshot {
+                count: 4,
+                sum: 100,
+                buckets: vec![
+                    Bucket {
+                        lo: 8,
+                        hi: 15,
+                        count: 3,
+                    },
+                    Bucket {
+                        lo: 32,
+                        hi: 63,
+                        count: 1,
+                    },
+                ],
+            },
+        );
+
+        let expected = "\
+# TYPE _9lives counter
+_9lives{path=\"9lives\"} 9
+# TYPE say__hi__ok counter
+say__hi__ok{path=\"say \\\"hi\\\"\\nok\"} 5
+# TYPE serve_gauge_queue_depth gauge
+serve_gauge_queue_depth{path=\"serve/gauge/queue_depth\"} 3
+# TYPE serve_http_429 counter
+serve_http_429{path=\"serve/http 429\"} 2
+# TYPE up counter
+up 1
+# TYPE vitesse_m_dia counter
+vitesse_m_dia{path=\"vitesse média\"} 7
+# TYPE serve_partition_ns summary
+serve_partition_ns_sum{path=\"serve/partition\"} 150
+serve_partition_ns_count{path=\"serve/partition\"} 2
+# TYPE serve_latency_partition_us histogram
+serve_latency_partition_us_bucket{path=\"serve/latency/partition_us\",le=\"15\"} 3
+serve_latency_partition_us_bucket{path=\"serve/latency/partition_us\",le=\"63\"} 4
+serve_latency_partition_us_bucket{path=\"serve/latency/partition_us\",le=\"+Inf\"} 4
+serve_latency_partition_us_sum{path=\"serve/latency/partition_us\"} 100
+serve_latency_partition_us_count{path=\"serve/latency/partition_us\"} 4
+";
+        assert_eq!(snap.to_prometheus(), expected);
+        // Byte-stable across calls.
+        assert_eq!(snap.to_prometheus(), snap.to_prometheus());
+    }
+
+    #[test]
+    fn colliding_sanitized_names_share_one_type_line() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a b".to_string(), 1);
+        snap.counters.insert("a_b".to_string(), 2);
+        let text = snap.to_prometheus();
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE a_b "))
+            .count();
+        assert_eq!(type_lines, 1, "{text}");
+        assert!(text.contains("a_b{path=\"a b\"} 1"), "{text}");
+        assert!(text.contains("a_b 2"), "{text}");
+    }
+
+    /// Hand-rolled property test (this crate deliberately has no
+    /// dev-dependencies): for many pseudo-random value streams, the
+    /// exposed histogram's cumulative bucket counts are non-decreasing,
+    /// the `le` bounds strictly increase, and the `+Inf` bucket equals
+    /// `_count`.
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let mut state = 0x243F_6A88_85A3_08D3u64; // LCG seed
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for round in 0..50 {
+            let reg = Registry::new();
+            let n = 1 + (next() % 200) as usize;
+            for _ in 0..n {
+                // Spread values across many log2 buckets, including 0
+                // and the overflow bucket.
+                let shift = (next() % 64) as u32;
+                let v = match next() % 8 {
+                    0 => 0,
+                    1 => u64::MAX,
+                    _ => next() >> shift,
+                };
+                reg.histogram_record("lat", v);
+            }
+            let snap = reg.snapshot();
+            let text = snap.to_prometheus();
+
+            let mut prev_cum = 0u64;
+            let mut prev_le = -1.0f64;
+            let mut inf_seen = false;
+            for line in text.lines().filter(|l| l.starts_with("lat_bucket{")) {
+                let le_raw = line
+                    .split("le=\"")
+                    .nth(1)
+                    .and_then(|s| s.split('"').next())
+                    .unwrap_or_else(|| panic!("round {round}: bad line {line:?}"));
+                let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(cum >= prev_cum, "round {round}: counts dipped in {text}");
+                prev_cum = cum;
+                if le_raw == "+Inf" {
+                    inf_seen = true;
+                    assert_eq!(cum, n as u64, "round {round}: +Inf != count");
+                } else {
+                    let le: f64 = le_raw.parse().unwrap();
+                    assert!(le > prev_le, "round {round}: le not increasing in {text}");
+                    prev_le = le;
+                }
+            }
+            assert!(inf_seen, "round {round}: missing +Inf bucket");
+            assert!(
+                text.contains(&format!("lat_count {n}")),
+                "round {round}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_exposes_nothing() {
+        assert_eq!(Snapshot::default().to_prometheus(), "");
+    }
+}

@@ -37,6 +37,7 @@ fn disabled_instrumentation_is_allocation_free_and_records_nothing() {
     cubesfc_obs::set_enabled(false);
     cubesfc_obs::set_trace_enabled(false);
     cubesfc_obs::set_telemetry_enabled(false);
+    cubesfc_obs::set_access_enabled(false);
 
     // Pre-built outside the loop: the *call* must be free, the
     // caller's arguments may live wherever they like.
@@ -59,6 +60,7 @@ fn disabled_instrumentation_is_allocation_free_and_records_nothing() {
             &[("lb_measured", 0.1), ("migration_fraction", 0.0)],
             &ranks,
         );
+        cubesfc_obs::access_record("r000001", "partition", 200, "hit", i, i, 48, 96, "ok");
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
@@ -75,4 +77,6 @@ fn disabled_instrumentation_is_allocation_free_and_records_nothing() {
     assert!(cubesfc_obs::snapshot().is_empty());
     assert_eq!(cubesfc_obs::telemetry().sample_count(), 0);
     assert_eq!(cubesfc_obs::telemetry().dropped_samples(), 0);
+    assert!(cubesfc_obs::access_log().is_empty());
+    assert_eq!(cubesfc_obs::access_log().dropped(), 0);
 }

@@ -36,12 +36,28 @@ pub fn request(
     body: Option<&str>,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    request_with_headers(addr, method, path, &[], body, timeout)
+}
+
+/// [`request`] with extra request headers (e.g. `accept` for content
+/// negotiation, `x-cubesfc-request-id` to pick the request ID).
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
 
     let mut head = format!("{method} {path} HTTP/1.1\r\nhost: cubesfc\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
     if let Some(body) = body {
         head.push_str(&format!("content-length: {}\r\n", body.len()));
     }

@@ -167,6 +167,8 @@ fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ReadError> {
 pub struct Response {
     /// Status code, e.g. 200.
     pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// Extra headers beyond `Content-Type`/`Content-Length`.
     pub headers: Vec<(String, String)>,
     /// Response body.
@@ -178,6 +180,18 @@ impl Response {
     pub fn json(status: u16, body: String) -> Response {
         Response {
             status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition format version, so
+    /// scrapers accept `GET /metrics` output as-is).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
             headers: Vec::new(),
             body: body.into_bytes(),
         }
@@ -189,13 +203,22 @@ impl Response {
         self
     }
 
+    /// First value of extra header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Serialize the response onto `stream` (HTTP/1.1, connection
     /// close).
     pub fn write<W: Write>(&self, stream: &mut W) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {
@@ -307,5 +330,19 @@ mod tests {
         assert!(text.contains("retry-after: 1\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn text_response_carries_prometheus_content_type() {
+        let mut out = Vec::new();
+        Response::text(200, "up 1\n".to_string())
+            .write(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\nup 1\n"));
     }
 }

@@ -34,7 +34,9 @@ pub use api::{
     error_body, fmt_f64, parse_partition_request, parse_rebalance_request, PartitionRequest,
     RebalanceStepRequest, SERVE_SCHEMA,
 };
-pub use client::{request as http_request, ClientResponse};
+pub use client::{
+    request as http_request, request_with_headers as http_request_with_headers, ClientResponse,
+};
 pub use coalesce::{Coalescer, Outcome};
 pub use lru::LruCache;
 pub use queue::{BoundedQueue, PushError};

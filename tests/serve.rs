@@ -7,7 +7,13 @@
 //! 3. overload sheds with 429 while admitted work still completes,
 //! 4. graceful shutdown drains every admitted request,
 //!
-//! plus deadline expiry (504) and hostile-input rejection (400/413).
+//! plus deadline expiry (504), hostile-input rejection (400/413), and
+//! the observability surface: JSON/Prometheus content negotiation on
+//! `/metrics` (including the scrape observing itself before it
+//! snapshots), request-ID echo on the success, shed, and deadline
+//! paths, `/readyz` and `/statusz`, access-log totals agreeing with
+//! Prometheus `_count` series, and a `top` dashboard frame computed
+//! over live HTTP.
 //!
 //! The mechanics tests use a gated mock backend so concurrency is
 //! *controlled*, not raced: the gate holds computations open until the
@@ -16,8 +22,8 @@
 //! the real engine backend, where the work is genuinely expensive.
 
 use cubesfc::serve::{
-    http_request, Backend, BackendError, PartitionRequest, RebalanceStepRequest, ServeConfig,
-    Server, ServerHandle,
+    http_request, http_request_with_headers, Backend, BackendError, PartitionRequest,
+    RebalanceStepRequest, ServeConfig, Server, ServerHandle,
 };
 use cubesfc::EngineBackend;
 use std::net::SocketAddr;
@@ -373,5 +379,284 @@ fn metrics_endpoint_reports_cache_and_queue_counters() {
         Some(1)
     );
     assert!(counters.get("serve/requests").unwrap().as_u64().unwrap() >= 4);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_negotiates_prometheus_text_and_pins_its_own_observation() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+
+    // Default Accept: the JSON profile document.
+    let resp = http_request(addr, "GET", "/metrics", None, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let doc = cubesfc::obs::json_parse(&resp.body).unwrap();
+    // The scrape observes itself *before* snapshotting: the very first
+    // /metrics response already contains its own latency sample and
+    // request count, so a final scrape's totals agree with the access
+    // log instead of trailing it by one.
+    let metrics_count = doc
+        .get("histograms")
+        .and_then(|h| h.get("serve/latency/metrics_us"))
+        .and_then(|h| h.get("count"))
+        .and_then(|c| c.as_u64());
+    assert_eq!(metrics_count, Some(1), "body: {}", resp.body);
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("serve/requests"))
+            .and_then(|c| c.as_u64()),
+        Some(1)
+    );
+
+    // Accept: text/plain negotiates the Prometheus exposition.
+    let resp = http_request_with_headers(
+        addr,
+        "GET",
+        "/metrics",
+        &[("accept", "text/plain")],
+        None,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "content-type: {:?}",
+        resp.header("content-type")
+    );
+    assert!(resp.body.contains("# TYPE serve_requests counter"));
+    assert!(resp.body.contains("# TYPE serve_gauge_queue_depth gauge"));
+    assert!(resp.body.contains("serve_latency_metrics_us_bucket"));
+    assert!(resp.body.ends_with('\n'));
+    handle.shutdown();
+}
+
+#[test]
+fn request_ids_are_echoed_on_success_shed_and_deadline_paths() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+    let body = "{\"ne\": 4, \"nproc\": 6, \"method\": \"sfc\"}";
+
+    // A well-formed client-supplied ID is echoed verbatim.
+    let resp = http_request_with_headers(
+        addr,
+        "POST",
+        "/v1/partition",
+        &[("x-cubesfc-request-id", "my-id-123")],
+        Some(body),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-cubesfc-request-id"), Some("my-id-123"));
+
+    // Without one the server assigns from its sequence.
+    let resp = http_request(addr, "POST", "/v1/partition", Some(body), TIMEOUT).unwrap();
+    let id = resp.header("x-cubesfc-request-id").unwrap();
+    assert!(
+        id.len() == 7 && id.starts_with('r') && id[1..].chars().all(|c| c.is_ascii_digit()),
+        "generated id: {id:?}"
+    );
+
+    // An invalid client ID (embedded whitespace) is replaced, not echoed.
+    let resp = http_request_with_headers(
+        addr,
+        "POST",
+        "/v1/partition",
+        &[("x-cubesfc-request-id", "not valid")],
+        Some(body),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .header("x-cubesfc-request-id")
+        .unwrap()
+        .starts_with('r'));
+    handle.shutdown();
+
+    // The early-reply paths carry IDs too: 429 from the acceptor and
+    // 504 for work that expired in the queue, neither of which ever
+    // reads the request.
+    let backend = Arc::new(GatedBackend::new());
+    let (handle, addr) = start(
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            deadline: Duration::from_millis(150),
+            ..ServeConfig::default()
+        },
+        Arc::clone(&backend) as Arc<dyn Backend>,
+    );
+    let blocker = post_partition(addr, partition_body(6));
+    spin_until("worker to pick up the blocker", || backend.computes() == 1);
+    let late = std::thread::spawn(move || {
+        http_request(
+            addr,
+            "POST",
+            "/v1/partition",
+            Some(&partition_body(12)),
+            TIMEOUT,
+        )
+        .unwrap()
+    });
+    spin_until("late request to queue", || handle.queue_depth() == 1);
+
+    let shed = http_request(
+        addr,
+        "POST",
+        "/v1/partition",
+        Some(&partition_body(24)),
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(shed.status, 429);
+    assert!(
+        shed.header("x-cubesfc-request-id").is_some(),
+        "429 must carry a request id"
+    );
+
+    std::thread::sleep(Duration::from_millis(250));
+    backend.open();
+    assert_eq!(blocker.join().unwrap().0, 200);
+    let late = late.join().unwrap();
+    assert_eq!(late.status, 504);
+    assert!(
+        late.header("x-cubesfc-request-id").is_some(),
+        "504 must carry a request id"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn readyz_and_statusz_report_operational_state() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+
+    let resp = http_request(addr, "GET", "/readyz", None, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains("\"status\":\"ready\""),
+        "body: {}",
+        resp.body
+    );
+
+    let resp = http_request(addr, "GET", "/statusz", None, TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    assert!(resp.body.contains("ready:     yes"), "body: {}", resp.body);
+    assert!(resp.body.contains("workers"));
+    assert!(resp.body.contains("cache:"));
+
+    // The operational endpoints are GET-only.
+    let resp = http_request(addr, "POST", "/readyz", Some("{}"), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = http_request(addr, "POST", "/statusz", Some("{}"), TIMEOUT).unwrap();
+    assert_eq!(resp.status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn access_log_counts_agree_with_prometheus_totals() {
+    // The access log is process-global; every request in this test
+    // carries a recognizable ID so lines from concurrently running
+    // tests are filtered out, while the Prometheus text comes from this
+    // server's own registry and so counts exactly our requests.
+    cubesfc::obs::set_access_enabled(true);
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+    let prefix = "agree9";
+
+    let mut sent = 0u64;
+    for i in 0..5 {
+        let body = format!(
+            "{{\"ne\": 4, \"nproc\": {}, \"method\": \"sfc\"}}",
+            6 * (i % 2 + 1)
+        );
+        let id = format!("{prefix}-p{i}");
+        let resp = http_request_with_headers(
+            addr,
+            "POST",
+            "/v1/partition",
+            &[("x-cubesfc-request-id", &id)],
+            Some(&body),
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cubesfc-request-id"), Some(id.as_str()));
+        sent += 1;
+    }
+    let resp = http_request_with_headers(
+        addr,
+        "GET",
+        "/metrics",
+        &[
+            ("accept", "text/plain"),
+            ("x-cubesfc-request-id", "agree9-m0"),
+        ],
+        None,
+        TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    let text = resp.body;
+    // Drain before reading the log: access lines are written after the
+    // response bytes.
+    handle.shutdown();
+
+    let records = cubesfc::obs::parse_access(&cubesfc::obs::access_log().export_ndjson()).unwrap();
+    let ours: Vec<_> = records
+        .iter()
+        .filter(|r| r.id.starts_with(prefix))
+        .collect();
+    let partitions = ours.iter().filter(|r| r.endpoint == "partition").count() as u64;
+    let metrics = ours.iter().filter(|r| r.endpoint == "metrics").count() as u64;
+    assert_eq!(partitions, sent);
+    assert_eq!(metrics, 1);
+    assert!(ours.iter().all(|r| r.outcome == "ok" && r.status == 200));
+
+    // The scrape's `_count` totals equal the access-log line counts per
+    // endpoint: the scrape observed itself before snapshotting.
+    let count_of = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{name} ")) || l.starts_with(&format!("{name}{{")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample for {name} in:\n{text}"))
+    };
+    assert_eq!(count_of("serve_latency_partition_us_count"), partitions);
+    assert_eq!(count_of("serve_latency_metrics_us_count"), metrics);
+}
+
+#[test]
+fn top_computes_a_live_frame_over_http() {
+    let (handle, addr) = start(ServeConfig::default(), Arc::new(EngineBackend::new()));
+    let body = "{\"ne\": 4, \"nproc\": 6, \"method\": \"sfc\"}";
+
+    let prev = cubesfc::top::fetch_snapshot(addr, TIMEOUT).unwrap();
+    for _ in 0..4 {
+        let resp = http_request(addr, "POST", "/v1/partition", Some(body), TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let cur = cubesfc::top::fetch_snapshot(addr, TIMEOUT).unwrap();
+
+    let stats = cubesfc::top::FrameStats::compute(&prev, &cur, Duration::from_secs(1));
+    // Four partitions plus the second scrape itself.
+    assert_eq!(stats.requests_delta, 5);
+    assert!(stats.rps > 0.0);
+    assert_eq!(stats.workers, ServeConfig::default().workers as u64);
+    assert!(stats.cache_hit_ratio > 0.0, "3 of 4 posts were cache hits");
+    let labels: Vec<&str> = stats.latency.iter().map(|(l, _)| l.as_str()).collect();
+    assert!(labels.contains(&"partition"), "rows: {labels:?}");
+    assert!(labels.contains(&"partition hit"), "rows: {labels:?}");
+    assert!(labels.contains(&"partition miss"), "rows: {labels:?}");
+
+    let mut bank = cubesfc::obs::SeriesBank::new(8);
+    bank.ingest(&stats.to_sample(1));
+    let frame = cubesfc::top::render_frame("test", 1, &stats, &bank);
+    assert!(frame.contains("rps"));
+    assert!(frame.contains("partition hit"));
+    assert!(frame.contains("top/rps"));
     handle.shutdown();
 }
